@@ -1,0 +1,206 @@
+package deepplan_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus micro-benchmarks on the simulation substrate's
+// hot paths. The per-figure benchmarks run the same code that
+// cmd/deepplan-bench uses (serving figures in Quick mode to keep
+// `go test -bench=.` tractable); EXPERIMENTS.md records the full-scale runs.
+
+import (
+	"io"
+	"testing"
+
+	"deepplan"
+	"deepplan/internal/dnn"
+	"deepplan/internal/experiments"
+	"deepplan/internal/forward"
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(io.Discard, experiments.Options{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-figure/table benchmarks (paper evaluation order).
+
+func BenchmarkFigure2StallDecomposition(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFigure5LayerMicro(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkTable1PCIeEvents(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFigure6Transmission(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkTable2PCIeBandwidth(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkFigure11Speedups(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkTable3PlanExcerpts(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkTable4Interference(b *testing.B)         { benchExperiment(b, "table4") }
+func BenchmarkFigure12Batching(b *testing.B)           { benchExperiment(b, "fig12") }
+func BenchmarkTable5ProfilingCost(b *testing.B)        { benchExperiment(b, "table5") }
+func BenchmarkFigure13ServingSweep(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFigure14ServingLargeModels(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15TraceReplay(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFigure16PCIe4(b *testing.B)              { benchExperiment(b, "fig16") }
+
+// Extension (§7 future work) and ablation benchmarks.
+
+func BenchmarkExtLargeModel(b *testing.B)       { benchExperiment(b, "ext-large") }
+func BenchmarkExtMixtureOfExperts(b *testing.B) { benchExperiment(b, "ext-moe") }
+func BenchmarkAblatePruning(b *testing.B)       { benchExperiment(b, "ablate-prune") }
+func BenchmarkAblatePartitions(b *testing.B)    { benchExperiment(b, "ablate-parts") }
+func BenchmarkAblatePCIeGen(b *testing.B)       { benchExperiment(b, "ablate-pcie") }
+func BenchmarkAblateNVLink(b *testing.B)        { benchExperiment(b, "ablate-nvlink") }
+
+// Substrate micro-benchmarks.
+
+// BenchmarkProfileBERTBase measures the one-time profiling pre-run.
+func BenchmarkProfileBERTBase(b *testing.B) {
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Profile(m, deepplan.ProfileOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanAlgorithm1 measures plan generation (Algorithm 1 + pruning)
+// for the deepest model.
+func BenchmarkPlanAlgorithm1(b *testing.B) {
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("resnet101")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := platform.Profile(m, deepplan.ProfileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Plan(prof, deepplan.ModePTDHA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartSimulation measures one full event-simulated PT+DHA
+// cold start end to end.
+func BenchmarkColdStartSimulation(b *testing.B) {
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := platform.Profile(m, deepplan.ProfileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pln, err := platform.Plan(prof, deepplan.ModePTDHA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Execute(m, pln, deepplan.ExecuteOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmInferenceSimulation measures the coalesced warm path the
+// serving system leans on for million-request traces.
+func BenchmarkWarmInferenceSimulation(b *testing.B) {
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := platform.Profile(m, deepplan.ProfileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pln, err := platform.Plan(prof, deepplan.ModeDHA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Execute(m, pln, deepplan.ExecuteOptions{Warm: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetFairShare measures max-min reallocation under churn:
+// staggered flows arriving and completing across a shared uplink.
+func BenchmarkSimnetFairShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		n := simnet.New(s)
+		up := simnet.NewLink("uplink", 12e9)
+		lanes := []*simnet.Link{
+			simnet.NewLink("l0", 11e9), simnet.NewLink("l1", 11e9),
+		}
+		for f := 0; f < 64; f++ {
+			f := f
+			s.At(sim.Time(f)*sim.Time(sim.Millisecond), func() {
+				n.StartFlow("f", []*simnet.Link{up, lanes[f%2]}, 50e6, nil)
+			})
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkFunctionalForwardPass measures the functional tensor runtime on
+// the tiny GPT model the correctness tests execute.
+func BenchmarkFunctionalForwardPass(b *testing.B) {
+	m := dnn.TinyGPT(97, 16, 24, 2, 48, 16, 4)
+	w, err := forward.InitWeights(m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []int{5, 17, 3, 96, 0, 42, 7, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forward.Run(m, w, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingThousandRequests measures the serving system's event
+// throughput at the Figure 13 operating point.
+func BenchmarkServingThousandRequests(b *testing.B) {
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := deepplan.PoissonWorkload(42, 100, 1000, 140)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := platform.NewServer(deepplan.ServerOptions{Policy: deepplan.ModePTDHA})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Deploy(m, 140); err != nil {
+			b.Fatal(err)
+		}
+		srv.Warmup()
+		if _, err := srv.Run(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

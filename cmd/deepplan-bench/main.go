@@ -1,0 +1,56 @@
+// deepplan-bench regenerates the paper's evaluation tables and figures on
+// the simulated platform.
+//
+// Usage:
+//
+//	deepplan-bench -list
+//	deepplan-bench -exp fig11
+//	deepplan-bench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepplan/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	quick := flag.Bool("quick", false, "shrink serving experiments for a fast pass")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "deepplan-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "deepplan-bench: unknown experiment %q; known: %v\n",
+			*exp, experiments.IDs())
+		os.Exit(2)
+	}
+	run(e)
+}

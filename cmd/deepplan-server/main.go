@@ -1,0 +1,150 @@
+// deepplan-server runs serving experiments on the simulated multi-GPU
+// server: a Poisson workload or a synthetic MAF-like trace against a chosen
+// cold-start policy.
+//
+// Usage:
+//
+//	deepplan-server -policy pt+dha -model bert-base -instances 180 -rate 100 -requests 1000
+//	deepplan-server -policy dha -trace -duration 30m -rate 150 \
+//	    -mix bert-base:48,roberta-base:48,gpt2:12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepplan"
+	"deepplan/internal/sim"
+)
+
+func main() {
+	policy := flag.String("policy", "pt+dha", "baseline | pipeswitch | dha | pt+dha")
+	modelName := flag.String("model", "bert-base", "model for single-model runs")
+	instances := flag.Int("instances", 120, "number of model instances")
+	rate := flag.Float64("rate", 100, "offered load, requests/second")
+	requests := flag.Int("requests", 1000, "requests to serve (Poisson runs)")
+	sloMs := flag.Int("slo", 100, "SLO in milliseconds")
+	maxBatch := flag.Int("maxbatch", 1, "dynamic batching limit for warm requests (1 disables)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	trace := flag.Bool("trace", false, "replay a MAF-like trace instead of Poisson")
+	duration := flag.Duration("duration", 3*time.Hour, "trace duration (with -trace)")
+	mix := flag.String("mix", "", "trace deployment, e.g. bert-base:48,roberta-base:48,gpt2:12")
+	flag.Parse()
+
+	platform := deepplan.NewP38xlarge()
+	srv, err := platform.NewServer(deepplan.ServerOptions{
+		Policy:   deepplan.Mode(*policy),
+		SLO:      deepplan.Duration(*sloMs) * sim.Millisecond,
+		MaxBatch: *maxBatch,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var reqs []deepplan.Request
+	if *trace {
+		deployments, err := parseMix(*mix, *modelName, *instances)
+		if err != nil {
+			fail("%v", err)
+		}
+		total := 0
+		for _, d := range deployments {
+			m, err := deepplan.LoadModel(d.name)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := srv.Deploy(m, d.count); err != nil {
+				fail("%v", err)
+			}
+			total += d.count
+			fmt.Printf("deployed %3d x %s\n", d.count, m.Name)
+		}
+		reqs, err = deepplan.MAFWorkload(*seed, deepplan.Duration(*duration), *rate, total)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace: %d requests over %s\n", len(reqs), *duration)
+	} else {
+		m, err := deepplan.LoadModel(*modelName)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := srv.Deploy(m, *instances); err != nil {
+			fail("%v", err)
+		}
+		reqs = deepplan.PoissonWorkload(*seed, *rate, *requests, *instances)
+		fmt.Printf("deployed %d x %s; %d Poisson requests at %.0f rps\n",
+			*instances, m.Name, len(reqs), *rate)
+	}
+
+	warm := srv.Warmup()
+	fmt.Printf("warmed up %d of %d instances (capacity %d)\n\n",
+		warm, srv.NumInstances(), srv.WarmCapacity())
+
+	start := time.Now()
+	rep, err := srv.Run(reqs)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("policy:        %s\n", rep.Policy)
+	fmt.Printf("requests:      %d (simulated; wall clock %s)\n",
+		rep.Requests, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("p50 / p99:     %.1f ms / %.1f ms (max %.1f ms)\n",
+		rep.P50.Seconds()*1e3, rep.P99.Seconds()*1e3, rep.Max.Seconds()*1e3)
+	fmt.Printf("goodput:       %.2f%% (SLO %d ms)\n", rep.Goodput*100, *sloMs)
+	fmt.Printf("cold starts:   %d (%.1f%%), evictions %d, deferred %d\n",
+		rep.ColdStarts, rep.ColdStartRate*100, rep.Evictions, rep.Deferred)
+	if rep.BatchedRuns > 0 {
+		fmt.Printf("batching:      %d runs carried %d coalesced requests\n",
+			rep.BatchedRuns, rep.BatchedRequests)
+	}
+	if rep.Relocations > 0 || rep.PTFallbacks > 0 {
+		fmt.Printf("rebalancing:   %d relocations, %d PT fallbacks\n",
+			rep.Relocations, rep.PTFallbacks)
+	}
+
+	if *trace {
+		fmt.Printf("\nper-15-minute windows:\n%-8s %9s %9s %9s %7s\n",
+			"minute", "requests", "p99(ms)", "goodput", "colds")
+		for i, ws := range rep.PerWindow {
+			if i%15 != 0 || ws.Requests == 0 {
+				continue
+			}
+			fmt.Printf("%-8d %9d %9.1f %8.1f%% %7d\n",
+				i, ws.Requests, ws.P99.Seconds()*1e3, ws.Goodput*100, ws.ColdStarts)
+		}
+	}
+}
+
+type deployment struct {
+	name  string
+	count int
+}
+
+func parseMix(mix, fallbackModel string, fallbackCount int) ([]deployment, error) {
+	if mix == "" {
+		return []deployment{{fallbackModel, fallbackCount}}, nil
+	}
+	var out []deployment
+	for _, part := range strings.Split(mix, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad mix entry %q (want model:count)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count in %q", part)
+		}
+		out = append(out, deployment{kv[0], n})
+	}
+	return out, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "deepplan-server: "+format+"\n", args...)
+	os.Exit(1)
+}

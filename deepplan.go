@@ -1,0 +1,289 @@
+// Package deepplan is a Go reproduction of "Fast and Efficient Model
+// Serving Using Multi-GPUs with Direct-Host-Access" (EuroSys 2023).
+//
+// DeepPlan minimizes DL inference latency when a model must be provisioned
+// from host to GPU memory (the cold-start problem) with two techniques:
+//
+//   - Direct-host-access (DHA): layers whose access pattern makes PCIe reads
+//     cheap — embeddings above all — are executed straight out of pinned host
+//     memory and never loaded.
+//   - Parallel transmission (PT): the model is partitioned across GPUs on
+//     distinct PCIe switches, transmitted in parallel over their independent
+//     PCIe lanes, and merged onto the primary GPU over NVLink.
+//
+// The planner (Algorithm 1 of the paper) combines both automatically from a
+// one-time per-layer profile.
+//
+// Because this reproduction runs without GPUs, the hardware is a calibrated
+// discrete-event simulation (see DESIGN.md): virtual PCIe/NVLink links with
+// max–min fair bandwidth sharing, CUDA-like streams and events, and an
+// analytic kernel cost model anchored to the paper's measurements. All
+// simulated latencies are in virtual time; experiments over hours of trace
+// complete in seconds of wall clock.
+//
+// # Quick start
+//
+//	platform := deepplan.NewP38xlarge()
+//	model, _ := deepplan.LoadModel("bert-base")
+//	prof, _ := platform.Profile(model, deepplan.ProfileOptions{})
+//	plan, _ := platform.Plan(prof, deepplan.ModePTDHA)
+//	res, _ := platform.Execute(model, plan, deepplan.ExecuteOptions{})
+//	fmt.Println("cold-start latency:", res.Latency())
+package deepplan
+
+import (
+	"fmt"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/engine"
+	"deepplan/internal/plan"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/serving"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+	"deepplan/internal/workload"
+)
+
+// Re-exported core types. The internal packages remain the implementation;
+// these aliases are the stable public surface.
+type (
+	// Model is a layer-level DNN description.
+	Model = dnn.Model
+	// Layer is one schedulable unit of a model.
+	Layer = dnn.Layer
+	// Profile is the per-layer performance table from the profiling pre-run.
+	Profile = profiler.Profile
+	// Plan is an inference execution plan (per-layer method + partitions).
+	Plan = plan.Plan
+	// RunResult is the outcome of one simulated inference.
+	RunResult = engine.Result
+	// LayerTiming is a per-layer execution record within a RunResult.
+	LayerTiming = engine.LayerTiming
+	// Topology describes a server's GPUs and interconnects.
+	Topology = topology.Topology
+	// Request is one workload arrival.
+	Request = workload.Request
+	// Report summarizes a serving run.
+	Report = serving.Report
+	// Time is a virtual-time instant (nanoseconds).
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// ProfileOptions configures Profile.
+	ProfileOptions = profiler.Options
+	// CostParams is the calibrated platform cost model.
+	CostParams = costmodel.Params
+)
+
+// Mode selects an execution strategy, matching the paper's five legends.
+type Mode string
+
+// Execution modes.
+const (
+	// ModeBaseline loads the whole model, then executes (no pipelining).
+	ModeBaseline Mode = "baseline"
+	// ModePipeSwitch pipelines per-layer loading with execution
+	// (Bai et al., OSDI 2020) — the paper's state-of-the-art comparison.
+	ModePipeSwitch Mode = "pipeswitch"
+	// ModeDHA is DeepPlan with direct-host-access only (single GPU).
+	ModeDHA Mode = "dha"
+	// ModePT is DeepPlan with parallel transmission only (multi GPU).
+	ModePT Mode = "pt"
+	// ModePTDHA combines parallel transmission and direct-host-access.
+	ModePTDHA Mode = "pt+dha"
+)
+
+// Modes lists all execution modes in the paper's presentation order.
+func Modes() []Mode {
+	return []Mode{ModeBaseline, ModePipeSwitch, ModeDHA, ModePT, ModePTDHA}
+}
+
+// Models returns the canonical model-zoo names.
+func Models() []string { return dnn.ModelNames() }
+
+// LoadModel builds a zoo model by canonical name (e.g. "bert-base",
+// "resnet50", "gpt2-medium").
+func LoadModel(name string) (*Model, error) { return dnn.ByName(name) }
+
+// EvaluationModels returns the zoo in the paper's figure order.
+func EvaluationModels() []*Model { return dnn.EvaluationOrder() }
+
+// Platform binds a server topology to a calibrated cost model. Topologies
+// carry per-simulation state, so the platform holds a factory and
+// constructs a fresh one per simulation.
+type Platform struct {
+	name  string
+	build func() *topology.Topology
+	cost  *costmodel.Params
+}
+
+// NewP38xlarge returns the paper's primary platform: AWS p3.8xlarge,
+// 4x V100 16 GB, two GPUs per PCIe switch, NVLink mesh, PCIe 3.0.
+func NewP38xlarge() *Platform {
+	return &Platform{name: "p3.8xlarge", build: topology.P38xlarge, cost: costmodel.Default()}
+}
+
+// NewDualA5000 returns the paper's §5.4 platform: 2x RTX A5000 on PCIe 4.0
+// with an NVLink bridge.
+func NewDualA5000() *Platform {
+	return &Platform{name: "dual-a5000-pcie4", build: topology.DualA5000PCIe4, cost: costmodel.Default()}
+}
+
+// NewPlatform builds a custom platform from a topology factory and cost
+// parameters (nil cost uses the V100-calibrated defaults).
+func NewPlatform(name string, build func() *Topology, cost *CostParams) (*Platform, error) {
+	if build == nil {
+		return nil, fmt.Errorf("deepplan: nil topology factory")
+	}
+	if cost == nil {
+		cost = costmodel.Default()
+	}
+	return &Platform{name: name, build: build, cost: cost}, nil
+}
+
+// Name returns the platform's name.
+func (p *Platform) Name() string { return p.name }
+
+// Topology constructs a fresh topology instance.
+func (p *Platform) Topology() *Topology { return p.build() }
+
+// Cost returns the platform's cost model.
+func (p *Platform) Cost() *CostParams { return p.cost }
+
+// Profile runs the one-time profiling pre-run for a model (paper §4.3.1).
+func (p *Platform) Profile(m *Model, opts ProfileOptions) (*Profile, error) {
+	return profiler.Run(m, p.cost, p.build(), opts)
+}
+
+// Plan generates an execution plan for the given mode. Multi-GPU modes use
+// as many partitions as the topology's PCIe-switch layout allows.
+func (p *Platform) Plan(prof *Profile, mode Mode) (*Plan, error) {
+	pl := planner.New(p.build())
+	switch mode {
+	case ModeBaseline:
+		return pl.PlanBaseline(prof), nil
+	case ModePipeSwitch:
+		return pl.PlanPipeSwitch(prof), nil
+	case ModeDHA:
+		return pl.PlanDHA(prof), nil
+	case ModePT:
+		return pl.PlanPT(prof, pl.MaxPartitions()), nil
+	case ModePTDHA:
+		return pl.PlanPTDHA(prof, pl.MaxPartitions()), nil
+	default:
+		return nil, fmt.Errorf("deepplan: unknown mode %q", mode)
+	}
+}
+
+// PlanLargeModel plans a model whose parameters exceed paramBudget bytes of
+// GPU memory by keeping overflow layers host-resident via direct-host-access
+// (the paper's §7 suggestion). See also PlanStreaming, which usually wins
+// for FC-heavy overflow.
+func (p *Platform) PlanLargeModel(prof *Profile, paramBudget int64) (*Plan, error) {
+	return planner.New(p.build()).PlanLargeModel(prof, paramBudget)
+}
+
+// PlanStreaming plans an over-sized model for streaming execution: a
+// resident suffix up to residentBudget bytes plus Algorithm 1's DHA picks;
+// the remaining layers are re-transmitted (pipelined) every inference. The
+// returned mask pairs with ExecuteOptions.ResidentMask.
+func (p *Platform) PlanStreaming(prof *Profile, residentBudget int64) (*Plan, []bool, error) {
+	return planner.New(p.build()).PlanStreaming(prof, residentBudget)
+}
+
+// PredictLatency evaluates a plan's cold-start latency with the planner's
+// analytic timeline (fast, idealized; Execute gives the simulated truth).
+func (p *Platform) PredictLatency(prof *Profile, pln *Plan) Duration {
+	return planner.New(p.build()).Predict(prof, pln).Total
+}
+
+// ExecuteOptions configures a single simulated inference.
+type ExecuteOptions struct {
+	// Batch size; 0 means the plan's batch (or 1).
+	Batch int
+	// Warm skips loading (weights resident; DHA layers still read host).
+	Warm bool
+	// Primary selects the executing GPU (default 0).
+	Primary int
+	// ResidentMask marks layers already resident (streaming execution of
+	// over-sized models); see Platform.PlanStreaming.
+	ResidentMask []bool
+}
+
+// Execute runs one inference on a fresh simulated server and returns its
+// result. Secondary GPUs for multi-partition plans are selected
+// automatically (one per remote PCIe switch).
+func (p *Platform) Execute(m *Model, pln *Plan, opts ExecuteOptions) (*RunResult, error) {
+	topo := p.build()
+	var secondaries []int
+	if !opts.Warm && pln.NumParts > 1 {
+		var err error
+		secondaries, err = planner.New(topo).SelectGPUs(pln, opts.Primary)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return engine.RunOnce(topo, p.cost, engine.Spec{
+		Model:        m,
+		Plan:         pln,
+		Batch:        opts.Batch,
+		Primary:      opts.Primary,
+		Secondaries:  secondaries,
+		Warm:         opts.Warm,
+		ResidentMask: opts.ResidentMask,
+	})
+}
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// Policy is the serving-time execution mode (PipeSwitch, DHA, PT+DHA,
+	// or Baseline; plain PT is not a serving policy in the paper).
+	Policy Mode
+	// SLO is the target latency (default 100 ms, as in the paper).
+	SLO Duration
+	// Batch is the serving batch size (default 1).
+	Batch int
+	// MaxBatch enables dynamic batching of warm requests that arrive while
+	// an instance is busy (0/1 disables, the paper's setting).
+	MaxBatch int
+}
+
+// Server is a simulated multi-GPU inference server.
+type Server = serving.Server
+
+// NewServer builds a serving system on this platform.
+func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
+	policy := serving.Policy(opts.Policy)
+	if opts.Policy == "" {
+		policy = serving.PolicyPTDHA
+	}
+	return serving.New(serving.Config{
+		Topo:     p.build(),
+		Cost:     p.cost,
+		Policy:   policy,
+		SLO:      opts.SLO,
+		Batch:    opts.Batch,
+		MaxBatch: opts.MaxBatch,
+	})
+}
+
+// PoissonWorkload generates an open-loop Poisson arrival sequence
+// (ratePerSec requests/second, n requests, numInstances targets).
+func PoissonWorkload(seed int64, ratePerSec float64, n, numInstances int) []Request {
+	return workload.Poisson(seed, ratePerSec, n, numInstances)
+}
+
+// MAFWorkload synthesizes a Microsoft-Azure-Functions-like trace (heavy
+// sustained, fluctuating, and spiky arrival classes) of the given duration
+// and average rate across numFunctions instances.
+func MAFWorkload(seed int64, duration Duration, ratePerSec float64, numFunctions int) ([]Request, error) {
+	tr, err := workload.MAFLike(workload.TraceSpec{
+		Seed: seed, Duration: duration, TotalRate: ratePerSec, NumFunctions: numFunctions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tr.Requests, nil
+}

@@ -1,0 +1,64 @@
+// Quickstart: profile BERT-Base on the simulated p3.8xlarge, generate an
+// execution plan for every mode, and compare cold-start latencies — the
+// repository's one-minute tour of the paper's result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepplan"
+)
+
+func main() {
+	platform := deepplan.NewP38xlarge()
+	model, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s — %d layers, %.1f MiB parameters, warm inference target 9.35 ms\n\n",
+		model.Name, model.NumLayers(), float64(model.TotalParamBytes())/(1<<20))
+
+	// One-time profiling pre-run (paper §4.3.1).
+	prof, err := platform.Profile(model, deepplan.ProfileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d layers in %.1f simulated seconds (Table 5's one-time cost)\n\n",
+		len(prof.Layers), prof.Cost.Total().Seconds())
+
+	fmt.Printf("%-12s %12s %12s %10s %s\n", "mode", "latency", "stall", "speedup", "notes")
+	var baseline deepplan.Duration
+	for _, mode := range deepplan.Modes() {
+		pln, err := platform.Plan(prof, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := platform.Execute(model, pln, deepplan.ExecuteOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mode == deepplan.ModeBaseline {
+			baseline = res.Latency()
+		}
+		note := ""
+		if n := pln.CountDHA(); n > 0 {
+			note = fmt.Sprintf("%d layers via direct-host-access (%.1f MiB stay in host)",
+				n, float64(pln.HostResidentBytes(model))/(1<<20))
+		}
+		if pln.NumParts > 1 {
+			note += fmt.Sprintf(" [%d-way parallel transmission]", pln.NumParts)
+		}
+		fmt.Printf("%-12s %9.2f ms %9.2f ms %9.2fx %s\n",
+			mode, res.Latency().Seconds()*1e3, res.TotalStall.Seconds()*1e3,
+			baseline.Seconds()/res.Latency().Seconds(), note)
+	}
+
+	// The warm path for comparison: what the paper calls an in-memory hit.
+	pln, _ := platform.Plan(prof, deepplan.ModePipeSwitch)
+	warm, err := platform.Execute(model, pln, deepplan.ExecuteOptions{Warm: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwarm (already resident): %.2f ms\n", warm.Latency().Seconds()*1e3)
+}

@@ -1,0 +1,3 @@
+module deepplan
+
+go 1.22

@@ -1,0 +1,280 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+const MiB = 1 << 20
+
+// paramAnchors pin each zoo model's parameter size to its published value
+// (tolerances cover bias/bookkeeping differences between implementations).
+var paramAnchors = []struct {
+	name     string
+	wantMiB  float64
+	tolerant float64 // relative tolerance
+}{
+	{"resnet50", 97.5, 0.03},
+	{"resnet101", 170, 0.03},
+	{"bert-base", 417, 0.02}, // the paper quotes 417 MB for BERT-Base
+	{"bert-large", 1277, 0.03},
+	{"roberta-base", 475, 0.03},
+	{"roberta-large", 1348, 0.03},
+	{"gpt2", 474, 0.03},
+	{"gpt2-medium", 1353, 0.03},
+}
+
+func TestZooParameterSizes(t *testing.T) {
+	for _, a := range paramAnchors {
+		m, err := ByName(a.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMiB := float64(m.TotalParamBytes()) / MiB
+		lo, hi := a.wantMiB*(1-a.tolerant), a.wantMiB*(1+a.tolerant)
+		if gotMiB < lo || gotMiB > hi {
+			t.Errorf("%s: %0.1f MiB params, want %0.1f ± %0.0f%%",
+				a.name, gotMiB, a.wantMiB, a.tolerant*100)
+		}
+	}
+}
+
+func TestBERTBaseEmbeddingAnchors(t *testing.T) {
+	// Figure 5a of the paper: the BERT-Base word embedding is 89.42 MiB and
+	// the position embedding 1.50 MiB.
+	m := BERTBase()
+	var word, pos *Layer
+	for i := range m.Layers {
+		switch m.Layers[i].Name {
+		case "embeddings.word":
+			word = &m.Layers[i]
+		case "embeddings.position":
+			pos = &m.Layers[i]
+		}
+	}
+	if word == nil || pos == nil {
+		t.Fatal("embedding layers not found")
+	}
+	if got := float64(word.ParamBytes) / MiB; got < 89.3 || got > 89.6 {
+		t.Errorf("word embedding = %0.2f MiB, want 89.42", got)
+	}
+	if got := float64(pos.ParamBytes) / MiB; got < 1.49 || got > 1.51 {
+		t.Errorf("position embedding = %0.2f MiB, want 1.50", got)
+	}
+	if word.EmbRows != 384 || word.EmbRowBytes != 768*4 {
+		t.Errorf("word gather = %d rows x %d B, want 384 x 3072", word.EmbRows, word.EmbRowBytes)
+	}
+}
+
+func TestZooRegistry(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 14 {
+		t.Fatalf("zoo has %d models, want 14 (8 core + 6 extended)", len(names))
+	}
+	for _, n := range names {
+		m, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumLayers() == 0 {
+			t.Errorf("%s: empty model", n)
+		}
+	}
+	if _, err := ByName("alexnet"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if got := len(AllModels()); got != len(names) {
+		t.Fatalf("AllModels = %d entries, want %d", got, len(names))
+	}
+	order := EvaluationOrder()
+	if order[0].Name != "ResNet-50" || order[7].Name != "GPT-2 Medium" {
+		t.Fatalf("EvaluationOrder = %s..%s", order[0].Name, order[7].Name)
+	}
+}
+
+func TestBuildersReturnFreshModels(t *testing.T) {
+	a, _ := ByName("bert-base")
+	b, _ := ByName("bert-base")
+	if a == b || &a.Layers[0] == &b.Layers[0] {
+		t.Fatal("builders alias model storage")
+	}
+}
+
+func TestLayerIndicesAreSequential(t *testing.T) {
+	for _, m := range AllModels() {
+		for i := range m.Layers {
+			if m.Layers[i].Index != i {
+				t.Fatalf("%s layer %d has Index %d", m.Name, i, m.Layers[i].Index)
+			}
+		}
+	}
+}
+
+func TestLayerFieldsSane(t *testing.T) {
+	for _, m := range AllModels() {
+		for i := range m.Layers {
+			l := &m.Layers[i]
+			if l.ParamBytes < 0 || l.FLOPs < 0 || l.ActBytes < 0 {
+				t.Fatalf("%s/%s: negative field", m.Name, l.Name)
+			}
+			if l.Kind == Embedding {
+				if l.EmbRows <= 0 || l.EmbRowBytes <= 0 {
+					t.Fatalf("%s/%s: embedding without gather info", m.Name, l.Name)
+				}
+			}
+			if l.HasParams() != (l.ParamBytes > 0) {
+				t.Fatalf("%s/%s: HasParams inconsistent", m.Name, l.Name)
+			}
+		}
+	}
+}
+
+func TestSequenceLengths(t *testing.T) {
+	// Paper §5.1: seq len 384 for BERT/RoBERTa, 1024 for GPT-2; vision
+	// models have no token sequence. Checked over the paper's eight models.
+	for _, m := range EvaluationOrder() {
+		switch {
+		case strings.HasPrefix(m.Name, "BERT"), strings.HasPrefix(m.Name, "RoBERTa"):
+			if m.SeqLen != 384 {
+				t.Errorf("%s SeqLen = %d, want 384", m.Name, m.SeqLen)
+			}
+		case strings.HasPrefix(m.Name, "GPT"):
+			if m.SeqLen != 1024 {
+				t.Errorf("%s SeqLen = %d, want 1024", m.Name, m.SeqLen)
+			}
+		default:
+			if m.SeqLen != 0 {
+				t.Errorf("%s SeqLen = %d, want 0 (vision)", m.Name, m.SeqLen)
+			}
+		}
+	}
+}
+
+func TestExtendedZooSizes(t *testing.T) {
+	anchors := []struct {
+		name    string
+		wantMiB float64
+		tol     float64
+	}{
+		{"resnet152", 230, 0.05},
+		{"distilbert", 253, 0.05},
+		{"gpt2-large", 2953, 0.05},
+		{"gpt2-xl", 5946, 0.05},
+		{"vit-base", 329, 0.05},
+		{"synthetic-13b", 49000, 0.07},
+	}
+	for _, a := range anchors {
+		m, err := ByName(a.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m.TotalParamBytes()) / MiB
+		if got < a.wantMiB*(1-a.tol) || got > a.wantMiB*(1+a.tol) {
+			t.Errorf("%s: %0.0f MiB, want ~%0.0f", a.name, got, a.wantMiB)
+		}
+	}
+	// The synthetic 13B model must exceed a single V100's 16 GiB.
+	big, _ := ByName("synthetic-13b")
+	if big.TotalParamBytes() <= 16<<30 {
+		t.Error("synthetic-13b fits one GPU; it must not")
+	}
+}
+
+func TestResNetStructure(t *testing.T) {
+	m := ResNet50()
+	var convs, bns int
+	for i := range m.Layers {
+		switch m.Layers[i].Kind {
+		case Conv2D:
+			convs++
+		case BatchNorm:
+			bns++
+		}
+	}
+	if convs != 53 {
+		t.Errorf("ResNet-50 convs = %d, want 53", convs)
+	}
+	if bns != 53 {
+		t.Errorf("ResNet-50 BNs = %d, want 53", bns)
+	}
+	m101 := ResNet101()
+	if m101.NumLayers() <= m.NumLayers() {
+		t.Error("ResNet-101 not deeper than ResNet-50")
+	}
+	// ResNet-50 forward is ~8.2 GFLOPs at multiply+add counting.
+	if g := m.TotalFLOPs() / 1e9; g < 7 || g > 10 {
+		t.Errorf("ResNet-50 FLOPs = %0.1f G, want ~8.2", g)
+	}
+}
+
+func TestTransformerStructure(t *testing.T) {
+	m := BERTBase()
+	var fc, ln, emb, attn int
+	for i := range m.Layers {
+		switch m.Layers[i].Kind {
+		case Linear:
+			fc++
+		case LayerNorm:
+			ln++
+		case Embedding:
+			emb++
+		case Attention:
+			attn++
+		}
+	}
+	if emb != 3 {
+		t.Errorf("BERT-Base embeddings = %d, want 3", emb)
+	}
+	if fc != 12*6+1 { // 6 FC per encoder + pooler
+		t.Errorf("BERT-Base FCs = %d, want 73", fc)
+	}
+	if ln != 12*2+1 {
+		t.Errorf("BERT-Base LNs = %d, want 25", ln)
+	}
+	if attn != 12 {
+		t.Errorf("BERT-Base attention layers = %d, want 12", attn)
+	}
+	// GPT-2 ties its LM head: a huge Linear with zero params must exist.
+	g := GPT2()
+	found := false
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		if l.Name == "lm_head(tied)" {
+			found = true
+			if l.ParamBytes != 0 {
+				t.Error("tied LM head should have no loadable params")
+			}
+			if l.FLOPs < 7e10 {
+				t.Errorf("LM head FLOPs = %g, want ~7.9e10", l.FLOPs)
+			}
+		}
+	}
+	if !found {
+		t.Error("GPT-2 missing tied LM head")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Embedding.String() != "Emb" || Linear.String() != "FC" || Conv2D.String() != "Conv" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("out-of-range Kind.String = %q", Kind(99).String())
+	}
+}
+
+func TestNumLoadable(t *testing.T) {
+	m := BERTBase()
+	want := 0
+	for i := range m.Layers {
+		if m.Layers[i].ParamBytes > 0 {
+			want++
+		}
+	}
+	if m.NumLoadable() != want {
+		t.Fatalf("NumLoadable = %d, want %d", m.NumLoadable(), want)
+	}
+	if m.NumLoadable() >= m.NumLayers() {
+		t.Fatal("expected some parameterless layers")
+	}
+}

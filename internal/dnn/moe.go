@@ -1,0 +1,114 @@
+package dnn
+
+import "fmt"
+
+// SwitchGPT2 builds a Switch-Transformer-style mixture-of-experts GPT-2:
+// the dense FFN of every block is replaced by a tiny router plus `experts`
+// expert FFNs, of which the router activates exactly one per forward pass
+// (top-1 routing). With 8 experts the model carries ~8x the FFN parameters
+// of GPT-2 (~2.9 GiB total) while executing the compute of the dense model
+// — exactly the setting the paper's §7 sketches for DeepPlan: "all the
+// layers of the model are not required for a given input ... DeepPlan could
+// effectively reduce the time spent of transferring models."
+func SwitchGPT2(experts int) *Model {
+	if experts < 2 {
+		panic(fmt.Sprintf("dnn: SwitchGPT2 needs >= 2 experts, got %d", experts))
+	}
+	const (
+		vocab  = 50257
+		maxPos = 1024
+		hidden = 768
+		ffn    = 3072
+		layers = 12
+		seq    = 1024
+	)
+	b := &builder{}
+	b.add(embLayer("embeddings.word", vocab, hidden, seq))
+	b.add(embLayer("embeddings.position", maxPos, hidden, seq))
+	group := 0
+	for i := 0; i < layers; i++ {
+		p := fmt.Sprintf("h.%d", i)
+		b.add(lnLayer(p+".ln_1", hidden, seq))
+		b.add(fcLayer(p+".attn.c_attn", hidden, 3*hidden, seq))
+		b.add(attnLayer(p+".attn.scores", hidden, hidden/64, seq))
+		b.add(fcLayer(p+".attn.c_proj", hidden, hidden, seq))
+		b.add(resLayer(p+".res_1", hidden, seq))
+		b.add(lnLayer(p+".ln_2", hidden, seq))
+		// Router: a small dense projection hidden -> experts.
+		b.add(Layer{
+			Name:       p + ".moe.router",
+			Kind:       Linear,
+			ParamBytes: int64(hidden*experts+experts) * f32,
+			FLOPs:      2 * float64(seq) * float64(hidden) * float64(experts),
+			ActBytes:   float64(seq*(hidden+experts)) * f32,
+		})
+		group++
+		for e := 0; e < experts; e++ {
+			// One expert = the block's whole FFN (both projections fused
+			// into one schedulable unit).
+			b.add(Layer{
+				Name:        fmt.Sprintf("%s.moe.expert%d", p, e),
+				Kind:        Linear,
+				ParamBytes:  int64(2*hidden*ffn+ffn+hidden) * f32,
+				FLOPs:       2 * 2 * float64(seq) * float64(hidden) * float64(ffn),
+				ActBytes:    float64(seq*(2*hidden+ffn)) * f32,
+				ExpertGroup: group,
+				ExpertIndex: e,
+			})
+		}
+		b.add(resLayer(p+".res_2", hidden, seq))
+	}
+	b.add(lnLayer("ln_f", hidden, seq))
+	b.add(Layer{Name: "lm_head(tied)", Kind: Linear,
+		FLOPs:    2 * float64(seq) * float64(hidden) * float64(vocab),
+		ActBytes: float64(seq*(hidden+vocab)) * f32})
+	return &Model{
+		Name:      fmt.Sprintf("Switch-GPT-2 (%d experts)", experts),
+		Layers:    b.layers,
+		SeqLen:    seq,
+		InputNote: fmt.Sprintf("token sequence length %d, top-1 routing over %d experts", seq, experts),
+	}
+}
+
+// NumExpertGroups returns the number of MoE groups in the model (0 for
+// dense models).
+func (m *Model) NumExpertGroups() int {
+	max := 0
+	for i := range m.Layers {
+		if g := m.Layers[i].ExpertGroup; g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// ExpertsPerGroup returns the expert count of group g (layers sharing the
+// group id).
+func (m *Model) ExpertsPerGroup(g int) int {
+	n := 0
+	for i := range m.Layers {
+		if m.Layers[i].ExpertGroup == g {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveParamBytes returns the parameter bytes a single forward pass
+// touches: all dense layers plus one expert per group.
+func (m *Model) ActiveParamBytes() int64 {
+	var dense int64
+	perGroup := map[int]int64{}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.IsExpert() {
+			perGroup[l.ExpertGroup] = l.ParamBytes // uniform within a group
+			continue
+		}
+		dense += l.ParamBytes
+	}
+	for _, b := range perGroup {
+		dense += b
+	}
+	return dense
+}

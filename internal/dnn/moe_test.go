@@ -1,0 +1,72 @@
+package dnn
+
+import "testing"
+
+func TestSwitchGPT2Structure(t *testing.T) {
+	m := SwitchGPT2(8)
+	if m.NumExpertGroups() != 12 {
+		t.Fatalf("groups = %d, want 12", m.NumExpertGroups())
+	}
+	for g := 1; g <= 12; g++ {
+		if n := m.ExpertsPerGroup(g); n != 8 {
+			t.Fatalf("group %d has %d experts, want 8", g, n)
+		}
+	}
+	// Experts are Linear, carry the block's FFN parameters, and are indexed.
+	seen := map[int]map[int]bool{}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if !l.IsExpert() {
+			continue
+		}
+		if l.Kind != Linear || l.ParamBytes == 0 {
+			t.Fatalf("expert %s malformed", l.Name)
+		}
+		if seen[l.ExpertGroup] == nil {
+			seen[l.ExpertGroup] = map[int]bool{}
+		}
+		if seen[l.ExpertGroup][l.ExpertIndex] {
+			t.Fatalf("duplicate expert index %d in group %d", l.ExpertIndex, l.ExpertGroup)
+		}
+		seen[l.ExpertGroup][l.ExpertIndex] = true
+	}
+}
+
+func TestSwitchGPT2Sizes(t *testing.T) {
+	m := SwitchGPT2(8)
+	dense := GPT2()
+	// 8 experts multiply the FFN parameters; total is much bigger than the
+	// dense model, while active parameters per pass stay close to dense.
+	if m.TotalParamBytes() < 3*dense.TotalParamBytes() {
+		t.Errorf("MoE total %d not >> dense %d", m.TotalParamBytes(), dense.TotalParamBytes())
+	}
+	active := m.ActiveParamBytes()
+	if active >= m.TotalParamBytes()/2 {
+		t.Errorf("active %d not a small fraction of total %d", active, m.TotalParamBytes())
+	}
+	// Active ~= dense GPT-2's parameters (same architecture, one expert
+	// per block = one FFN per block).
+	ratio := float64(active) / float64(dense.TotalParamBytes())
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("active/dense ratio = %.2f, want ~1", ratio)
+	}
+}
+
+func TestSwitchGPT2DenseModelHasNoExperts(t *testing.T) {
+	dense := GPT2()
+	if dense.NumExpertGroups() != 0 {
+		t.Fatal("dense GPT-2 reports expert groups")
+	}
+	if dense.ActiveParamBytes() != dense.TotalParamBytes() {
+		t.Fatal("dense active != total")
+	}
+}
+
+func TestSwitchGPT2TooFewExpertsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwitchGPT2(1) did not panic")
+		}
+	}()
+	SwitchGPT2(1)
+}

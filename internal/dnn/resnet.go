@@ -1,0 +1,107 @@
+package dnn
+
+import "fmt"
+
+// ResNet builders. Shapes follow the torchvision implementations the paper
+// evaluates: 224x224 RGB input, bottleneck blocks, no conv biases,
+// BatchNorm after every convolution, final 1000-way classifier.
+
+// ResNet50 returns the ResNet-50 model (~25.6 M parameters, ~97.5 MiB).
+func ResNet50() *Model { return resnet("ResNet-50", [4]int{3, 4, 6, 3}) }
+
+// ResNet101 returns the ResNet-101 model (~44.5 M parameters, ~170 MiB).
+func ResNet101() *Model { return resnet("ResNet-101", [4]int{3, 4, 23, 3}) }
+
+func resnet(name string, blocks [4]int) *Model {
+	b := &builder{}
+
+	// Stem: 7x7/2 conv 3->64, BN, ReLU, 3x3/2 max pool. 224 -> 112 -> 56.
+	b.add(convLayer("stem.conv", 3, 64, 7, 112))
+	b.add(bnLayer("stem.bn", 64, 112))
+	b.add(actLayer("stem.relu", 64, 112))
+	b.add(Layer{Name: "stem.maxpool", Kind: Pooling,
+		FLOPs: 9 * 64 * 56 * 56, ActBytes: float64(64*(112*112+56*56)) * f32})
+
+	spatial := 64 // feature-map side length entering stage 1 is 56
+	_ = spatial
+	inC := 64
+	side := 56
+	stageMid := [4]int{64, 128, 256, 512}
+	for s := 0; s < 4; s++ {
+		mid := stageMid[s]
+		outC := mid * 4
+		for blk := 0; blk < blocks[s]; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("layer%d.%d", s+1, blk)
+			inSide := side
+			outSide := side / stride
+
+			// conv1 1x1 inC->mid at input resolution.
+			b.add(convLayer(prefix+".conv1", inC, mid, 1, inSide))
+			b.add(bnLayer(prefix+".bn1", mid, inSide))
+			b.add(actLayer(prefix+".relu1", mid, inSide))
+			// conv2 3x3 mid->mid, carries the stride.
+			b.add(convLayer(prefix+".conv2", mid, mid, 3, outSide))
+			b.add(bnLayer(prefix+".bn2", mid, outSide))
+			b.add(actLayer(prefix+".relu2", mid, outSide))
+			// conv3 1x1 mid->outC.
+			b.add(convLayer(prefix+".conv3", mid, outC, 1, outSide))
+			b.add(bnLayer(prefix+".bn3", outC, outSide))
+			// Projection shortcut on the first block of each stage.
+			if blk == 0 {
+				b.add(convLayer(prefix+".downsample.conv", inC, outC, 1, outSide))
+				b.add(bnLayer(prefix+".downsample.bn", outC, outSide))
+			}
+			b.add(Layer{Name: prefix + ".add", Kind: Residual,
+				FLOPs: float64(outC * outSide * outSide), ActBytes: 3 * float64(outC*outSide*outSide) * f32})
+			b.add(actLayer(prefix+".relu3", outC, outSide))
+
+			inC = outC
+			side = outSide
+		}
+	}
+
+	// Global average pool and classifier.
+	b.add(Layer{Name: "avgpool", Kind: Pooling,
+		FLOPs: float64(inC * side * side), ActBytes: float64(inC*side*side+inC) * f32})
+	b.add(Layer{Name: "fc", Kind: Linear,
+		ParamBytes: int64(inC*1000+1000) * f32,
+		FLOPs:      2 * float64(inC) * 1000,
+		ActBytes:   float64(inC+1000) * f32})
+
+	return &Model{Name: name, Layers: b.layers, InputNote: "224x224 RGB image"}
+}
+
+// convLayer builds a convolution with kernel k, producing an outSide x
+// outSide map with outC channels. FLOPs use the standard 2*Cin*Cout*k^2*H*W
+// multiply-add count; torchvision ResNet convolutions have no bias.
+func convLayer(name string, inC, outC, k, outSide int) Layer {
+	return Layer{
+		Name:       name,
+		Kind:       Conv2D,
+		ParamBytes: int64(inC*outC*k*k) * f32,
+		FLOPs:      2 * float64(inC) * float64(outC) * float64(k*k) * float64(outSide*outSide),
+		ActBytes:   float64(outC*outSide*outSide) * 2 * f32,
+	}
+}
+
+// bnLayer builds an inference-mode BatchNorm2d: weight, bias, running mean
+// and variance (4 floats per channel).
+func bnLayer(name string, c, side int) Layer {
+	n := float64(c * side * side)
+	return Layer{
+		Name:       name,
+		Kind:       BatchNorm,
+		ParamBytes: int64(4*c) * f32,
+		FLOPs:      2 * n,
+		ActBytes:   2 * n * f32,
+	}
+}
+
+func actLayer(name string, c, side int) Layer {
+	n := float64(c * side * side)
+	return Layer{Name: name, Kind: Activation, FLOPs: n, ActBytes: 2 * n * f32}
+}

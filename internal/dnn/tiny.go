@@ -1,0 +1,70 @@
+package dnn
+
+import "fmt"
+
+// TinyGPT builds a small GPT-2-style model carrying full functional
+// metadata (Dims, SkipFrom), so package forward can execute real forward
+// passes through it. The zoo models are timing-scale descriptions; tiny
+// models are the functional-correctness counterpart used to prove that
+// execution plans change weight *placement*, never the computation.
+func TinyGPT(vocab, maxPos, hidden, layers, ffn, seq, heads int) *Model {
+	if hidden%heads != 0 {
+		panic(fmt.Sprintf("dnn: hidden %d not divisible by heads %d", hidden, heads))
+	}
+	b := &builder{}
+	add := func(l Layer) int {
+		b.add(l)
+		return len(b.layers) - 1
+	}
+
+	we := embLayer("embeddings.word", vocab, hidden, seq)
+	we.Dims = []int{vocab, hidden}
+	add(we)
+	pe := embLayer("embeddings.position", maxPos, hidden, seq)
+	pe.Dims = []int{maxPos, hidden}
+	blockInput := add(pe) // embeddings accumulate; x0 is the pos-emb output
+
+	ln := func(name string) Layer {
+		l := lnLayer(name, hidden, seq)
+		l.Dims = []int{hidden}
+		return l
+	}
+	fc := func(name string, in, out int) Layer {
+		l := fcLayer(name, in, out, seq)
+		l.Dims = []int{in, out}
+		return l
+	}
+
+	for i := 0; i < layers; i++ {
+		p := fmt.Sprintf("h.%d", i)
+		add(ln(p + ".ln_1"))
+		add(fc(p+".attn.c_attn", hidden, 3*hidden))
+		at := attnLayer(p+".attn.scores", hidden, heads, seq)
+		at.Dims = []int{heads, hidden / heads}
+		add(at)
+		add(fc(p+".attn.c_proj", hidden, hidden))
+		r1 := resLayer(p+".res_1", hidden, seq)
+		r1.SkipFrom = blockInput
+		res1 := add(r1)
+		add(ln(p + ".ln_2"))
+		add(fc(p+".mlp.c_fc", hidden, ffn))
+		act := geluLayer(p+".mlp.act", ffn, seq)
+		add(act)
+		add(fc(p+".mlp.c_proj", ffn, hidden))
+		r2 := resLayer(p+".res_2", hidden, seq)
+		r2.SkipFrom = res1
+		blockInput = add(r2)
+	}
+	add(ln("ln_f"))
+	head := Layer{Name: "lm_head(tied)", Kind: Linear,
+		Dims:     []int{vocab, hidden},
+		FLOPs:    2 * float64(seq) * float64(hidden) * float64(vocab),
+		ActBytes: float64(seq*(hidden+vocab)) * f32}
+	add(head)
+
+	return &Model{
+		Name:   fmt.Sprintf("TinyGPT(v%d,h%d,l%d)", vocab, hidden, layers),
+		Layers: b.layers, SeqLen: seq,
+		InputNote: fmt.Sprintf("token ids, length <= %d", seq),
+	}
+}

@@ -1,0 +1,85 @@
+package dnn
+
+import "fmt"
+
+// TinyCNN builds a small ResNet-style CNN with full functional metadata so
+// package forward can execute it: a stem (conv/bn/relu/maxpool), one
+// residual block with a projection shortcut, global average pooling, and a
+// classifier. Conv Dims are [inC, outC, k, stride, pad]; BatchNorm Dims are
+// [C]; MaxPool Dims are [k, stride]; global average pooling carries no
+// Dims.
+func TinyCNN(inC, base, classes, side int) *Model {
+	if side%4 != 0 {
+		panic(fmt.Sprintf("dnn: TinyCNN side %d must be divisible by 4", side))
+	}
+	b := &builder{}
+	add := func(l Layer) int {
+		b.add(l)
+		return len(b.layers) - 1
+	}
+	conv := func(name string, ic, oc, k, stride, pad, outSide int) Layer {
+		l := convLayer(name, ic, oc, k, outSide)
+		// convLayer counts no bias; the functional layout carries one.
+		l.ParamBytes = int64(ic*oc*k*k+oc) * f32
+		l.Dims = []int{ic, oc, k, stride, pad}
+		return l
+	}
+	bn := func(name string, c, outSide int) Layer {
+		l := bnLayer(name, c, outSide)
+		l.Dims = []int{c}
+		return l
+	}
+
+	// Stem at full resolution, then 2x max-pool.
+	add(conv("stem.conv", inC, base, 3, 1, 1, side))
+	add(bn("stem.bn", base, side))
+	add(actLayer("stem.relu", base, side))
+	pool := Layer{Name: "stem.maxpool", Kind: Pooling,
+		Dims:     []int{2, 2},
+		FLOPs:    4 * float64(base*side*side/4),
+		ActBytes: float64(base*(side*side+side*side/4)) * f32}
+	poolIdx := add(pool)
+	half := side / 2
+
+	// Residual block with stride-2 projection: out = relu(bn2(conv2) + proj).
+	add(conv("block.conv1", base, 2*base, 3, 2, 1, half/2))
+	add(bn("block.bn1", 2*base, half/2))
+	add(actLayer("block.relu1", 2*base, half/2))
+	add(conv("block.conv2", 2*base, 2*base, 3, 1, 1, half/2))
+	bn2 := add(bn("block.bn2", 2*base, half/2))
+
+	// The projection shortcut branches from the block input (the pool
+	// output), not from the running main-path activation: SkipFrom on a
+	// non-residual layer re-roots its input (see forward's dataflow rules).
+	ds := conv("block.downsample.conv", base, 2*base, 1, 2, 0, half/2)
+	ds.SkipFrom = poolIdx
+	add(ds)
+	add(bn("block.downsample.bn", 2*base, half/2))
+
+	// out = relu(proj + bn2): the running activation is the projection,
+	// the stashed bn2 output is the main path.
+	res := Layer{Name: "block.add", Kind: Residual,
+		FLOPs:    float64(2 * base * half / 2 * half / 2),
+		ActBytes: 3 * float64(2*base*half/2*half/2) * f32}
+	res.SkipFrom = bn2
+	add(res)
+	add(actLayer("block.relu2", 2*base, half/2))
+
+	// Head.
+	gap := Layer{Name: "avgpool", Kind: Pooling,
+		FLOPs:    float64(2 * base * half / 2 * half / 2),
+		ActBytes: float64(2*base*half/2*half/2+2*base) * f32}
+	add(gap)
+	fc := Layer{Name: "fc", Kind: Linear,
+		ParamBytes: int64(2*base*classes+classes) * f32,
+		Dims:       []int{2 * base, classes},
+		FLOPs:      2 * float64(2*base) * float64(classes),
+		ActBytes:   float64(2*base+classes) * f32}
+	add(fc)
+
+	return &Model{
+		Name:      fmt.Sprintf("TinyCNN(c%d,b%d)", inC, base),
+		Layers:    b.layers,
+		InputNote: fmt.Sprintf("%dx%d image, %d channels", side, side, inC),
+	}
+}

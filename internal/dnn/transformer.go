@@ -1,0 +1,197 @@
+package dnn
+
+import "fmt"
+
+// Transformer builders. Shapes follow the Hugging Face implementations the
+// paper evaluates. Sequence lengths match the paper's setup: 384 for BERT
+// and RoBERTa, 1024 for GPT-2.
+
+// transformerSpec parameterizes an encoder/decoder stack.
+type transformerSpec struct {
+	name      string
+	vocab     int
+	maxPos    int
+	typeVocab int // 0 = no token-type embedding (GPT-2)
+	hidden    int
+	layers    int
+	ffn       int
+	seq       int
+	gpt       bool // GPT-2 style: fused c_attn, tied LM head, final LN
+	pooler    bool // BERT/RoBERTa pooler head
+}
+
+// BERTBase returns BERT-Base (~109.5 M parameters, ~417 MiB), seq len 384.
+func BERTBase() *Model {
+	return encoderModel(transformerSpec{
+		name: "BERT-Base", vocab: 30522, maxPos: 512, typeVocab: 2,
+		hidden: 768, layers: 12, ffn: 3072, seq: 384, pooler: true,
+	})
+}
+
+// BERTLarge returns BERT-Large (~335 M parameters, ~1.25 GiB), seq len 384.
+func BERTLarge() *Model {
+	return encoderModel(transformerSpec{
+		name: "BERT-Large", vocab: 30522, maxPos: 512, typeVocab: 2,
+		hidden: 1024, layers: 24, ffn: 4096, seq: 384, pooler: true,
+	})
+}
+
+// RoBERTaBase returns RoBERTa-Base (~124.6 M parameters, ~475 MiB),
+// seq len 384. RoBERTa's vocabulary (50265) makes its word embedding much
+// larger than BERT's, which is why it benefits most from DHA (2.21x in the
+// paper's Figure 11).
+func RoBERTaBase() *Model {
+	return encoderModel(transformerSpec{
+		name: "RoBERTa-Base", vocab: 50265, maxPos: 514, typeVocab: 1,
+		hidden: 768, layers: 12, ffn: 3072, seq: 384, pooler: true,
+	})
+}
+
+// RoBERTaLarge returns RoBERTa-Large (~355 M parameters, ~1.32 GiB).
+func RoBERTaLarge() *Model {
+	return encoderModel(transformerSpec{
+		name: "RoBERTa-Large", vocab: 50265, maxPos: 514, typeVocab: 1,
+		hidden: 1024, layers: 24, ffn: 4096, seq: 384, pooler: true,
+	})
+}
+
+// GPT2 returns GPT-2 (124 M parameters, ~475 MiB), seq len 1024.
+func GPT2() *Model {
+	return encoderModel(transformerSpec{
+		name: "GPT-2", vocab: 50257, maxPos: 1024,
+		hidden: 768, layers: 12, ffn: 3072, seq: 1024, gpt: true,
+	})
+}
+
+// GPT2Medium returns GPT-2 Medium (~355 M parameters, ~1.35 GiB).
+func GPT2Medium() *Model {
+	return encoderModel(transformerSpec{
+		name: "GPT-2 Medium", vocab: 50257, maxPos: 1024,
+		hidden: 1024, layers: 24, ffn: 4096, seq: 1024, gpt: true,
+	})
+}
+
+func encoderModel(s transformerSpec) *Model {
+	b := &builder{}
+	h, seq, ffn := s.hidden, s.seq, s.ffn
+	heads := h / 64
+
+	// Embeddings. A gather touches seq rows regardless of table size.
+	b.add(embLayer("embeddings.word", s.vocab, h, seq))
+	b.add(embLayer("embeddings.position", s.maxPos, h, seq))
+	if s.typeVocab > 0 {
+		b.add(embLayer("embeddings.token_type", s.typeVocab, h, seq))
+	}
+	if !s.gpt {
+		b.add(lnLayer("embeddings.LayerNorm", h, seq))
+	}
+
+	for i := 0; i < s.layers; i++ {
+		p := fmt.Sprintf("encoder.%d", i)
+		if s.gpt {
+			p = fmt.Sprintf("h.%d", i)
+			b.add(lnLayer(p+".ln_1", h, seq))
+			// GPT-2 fuses Q,K,V into one h -> 3h projection.
+			b.add(fcLayer(p+".attn.c_attn", h, 3*h, seq))
+			b.add(attnLayer(p+".attn.scores", h, heads, seq))
+			b.add(fcLayer(p+".attn.c_proj", h, h, seq))
+			b.add(resLayer(p+".res_1", h, seq))
+			b.add(lnLayer(p+".ln_2", h, seq))
+			b.add(fcLayer(p+".mlp.c_fc", h, ffn, seq))
+			b.add(geluLayer(p+".mlp.act", ffn, seq))
+			b.add(fcLayer(p+".mlp.c_proj", ffn, h, seq))
+			b.add(resLayer(p+".res_2", h, seq))
+			continue
+		}
+		b.add(fcLayer(p+".attention.query", h, h, seq))
+		b.add(fcLayer(p+".attention.key", h, h, seq))
+		b.add(fcLayer(p+".attention.value", h, h, seq))
+		b.add(attnLayer(p+".attention.scores", h, heads, seq))
+		b.add(fcLayer(p+".attention.output", h, h, seq))
+		b.add(resLayer(p+".attention.res", h, seq))
+		b.add(lnLayer(p+".attention.LayerNorm", h, seq))
+		b.add(fcLayer(p+".intermediate", h, ffn, seq))
+		b.add(geluLayer(p+".intermediate.act", ffn, seq))
+		b.add(fcLayer(p+".output", ffn, h, seq))
+		b.add(resLayer(p+".output.res", h, seq))
+		b.add(lnLayer(p+".output.LayerNorm", h, seq))
+	}
+
+	if s.gpt {
+		b.add(lnLayer("ln_f", h, seq))
+		// GPT-2's LM head shares the word-embedding matrix: an enormous
+		// matmul with zero additional parameters to load.
+		b.add(Layer{Name: "lm_head(tied)", Kind: Linear,
+			FLOPs:    2 * float64(seq) * float64(h) * float64(s.vocab),
+			ActBytes: float64(seq*(h+s.vocab)) * f32})
+	}
+	if s.pooler {
+		// BERT pooler: dense+tanh over the [CLS] token only.
+		b.add(Layer{Name: "pooler.dense", Kind: Linear,
+			ParamBytes: int64(h*h+h) * f32,
+			FLOPs:      2 * float64(h) * float64(h),
+			ActBytes:   float64(2*h) * f32})
+	}
+
+	return &Model{
+		Name: s.name, Layers: b.layers, SeqLen: seq,
+		InputNote: fmt.Sprintf("token sequence, length %d", seq),
+	}
+}
+
+func embLayer(name string, rows, hidden, seq int) Layer {
+	return Layer{
+		Name:        name,
+		Kind:        Embedding,
+		ParamBytes:  int64(rows*hidden) * f32,
+		FLOPs:       float64(seq * hidden), // gather + add
+		ActBytes:    float64(seq*hidden) * f32,
+		EmbRows:     seq,
+		EmbRowBytes: int64(hidden) * f32,
+	}
+}
+
+func fcLayer(name string, in, out, seq int) Layer {
+	return Layer{
+		Name:       name,
+		Kind:       Linear,
+		ParamBytes: int64(in*out+out) * f32,
+		FLOPs:      2 * float64(seq) * float64(in) * float64(out),
+		ActBytes:   float64(seq*(in+out)) * f32,
+	}
+}
+
+// attnLayer is the parameterless attention arithmetic: QK^T scores, softmax,
+// and the attention-weighted value sum.
+func attnLayer(name string, hidden, heads, seq int) Layer {
+	scores := 2 * float64(seq) * float64(seq) * float64(hidden) // QK^T
+	av := 2 * float64(seq) * float64(seq) * float64(hidden)     // A*V
+	softmax := 5 * float64(heads) * float64(seq) * float64(seq)
+	return Layer{
+		Name:     name,
+		Kind:     Attention,
+		FLOPs:    scores + av + softmax,
+		ActBytes: float64(2*heads*seq*seq) * f32,
+	}
+}
+
+func lnLayer(name string, hidden, seq int) Layer {
+	n := float64(seq * hidden)
+	return Layer{
+		Name:       name,
+		Kind:       LayerNorm,
+		ParamBytes: int64(2*hidden) * f32,
+		FLOPs:      8 * n,
+		ActBytes:   2 * n * f32,
+	}
+}
+
+func geluLayer(name string, width, seq int) Layer {
+	n := float64(seq * width)
+	return Layer{Name: name, Kind: Activation, FLOPs: 8 * n, ActBytes: 2 * n * f32}
+}
+
+func resLayer(name string, hidden, seq int) Layer {
+	n := float64(seq * hidden)
+	return Layer{Name: name, Kind: Residual, FLOPs: n, ActBytes: 3 * n * f32}
+}

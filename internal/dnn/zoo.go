@@ -1,0 +1,68 @@
+package dnn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// zoo maps canonical model names to builders. Builders construct a fresh
+// Model on every call so callers can annotate layers without aliasing.
+var zoo = map[string]func() *Model{
+	"resnet50":      ResNet50,
+	"resnet101":     ResNet101,
+	"bert-base":     BERTBase,
+	"bert-large":    BERTLarge,
+	"roberta-base":  RoBERTaBase,
+	"roberta-large": RoBERTaLarge,
+	"gpt2":          GPT2,
+	"gpt2-medium":   GPT2Medium,
+}
+
+// ModelNames returns the canonical zoo names in sorted order.
+func ModelNames() []string {
+	names := make([]string, 0, len(zoo))
+	for n := range zoo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds the model registered under the canonical name.
+func ByName(name string) (*Model, error) {
+	f, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("dnn: unknown model %q (known: %v)", name, ModelNames())
+	}
+	return f(), nil
+}
+
+// AllModels builds every model in the zoo, sorted by canonical name.
+func AllModels() []*Model {
+	names := ModelNames()
+	out := make([]*Model, 0, len(names))
+	for _, n := range names {
+		m, _ := ByName(n)
+		out = append(out, m)
+	}
+	return out
+}
+
+// EvaluationOrder returns the zoo in the order the paper's figures list the
+// models: ResNet-50, ResNet-101, BERT-Base, BERT-Large, RoBERTa-Base,
+// RoBERTa-Large, GPT-2, GPT-2 Medium.
+func EvaluationOrder() []*Model {
+	order := []string{
+		"resnet50", "resnet101", "bert-base", "bert-large",
+		"roberta-base", "roberta-large", "gpt2", "gpt2-medium",
+	}
+	out := make([]*Model, 0, len(order))
+	for _, n := range order {
+		m, err := ByName(n)
+		if err != nil {
+			panic(err) // static list; cannot fail
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+// Package engine executes inference plans on the simulated multi-GPU
+// server, reproducing the paper's execution coordination (§4.3.4).
+//
+// Each GPU has three streams, mirroring the paper's libTorch engine:
+//
+//   - a load stream that copies Load-method layers host→GPU in plan order;
+//   - a migration stream (on secondary GPUs) that forwards arrived
+//     partitions to the primary GPU over NVLink, layer by layer;
+//   - an execution stream that runs layers in order, synchronizing with the
+//     other streams through events (cudaEventRecord/cudaStreamWaitEvent).
+//
+// Direct-host-access layers skip the load stream entirely: their execution
+// task issues a PCIe read flow concurrently with compute, so DHA traffic
+// contends with in-flight copies on the same lane exactly as on real
+// hardware — this is what produces Table 4's interference numbers.
+package engine
+
+import (
+	"fmt"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/pcm"
+	"deepplan/internal/plan"
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+	"deepplan/internal/stream"
+	"deepplan/internal/topology"
+)
+
+// Config wires an Engine to its simulation substrate. All fields are
+// required.
+type Config struct {
+	Sim  *sim.Simulator
+	Net  *simnet.Network
+	Topo *topology.Topology
+	Cost *costmodel.Params
+}
+
+// gpuStreams is the per-device stream set.
+type gpuStreams struct {
+	exec      *stream.Stream
+	load      *stream.Stream
+	migration *stream.Stream
+}
+
+// Engine schedules inference runs onto the simulated server.
+type Engine struct {
+	sim  *sim.Simulator
+	net  *simnet.Network
+	topo *topology.Topology
+	cost *costmodel.Params
+	gpus []gpuStreams
+}
+
+// New returns an Engine over the given substrate.
+func New(cfg Config) *Engine {
+	if cfg.Sim == nil || cfg.Net == nil || cfg.Topo == nil || cfg.Cost == nil {
+		panic("engine: incomplete config")
+	}
+	e := &Engine{sim: cfg.Sim, net: cfg.Net, topo: cfg.Topo, cost: cfg.Cost}
+	for i := 0; i < cfg.Topo.NumGPUs(); i++ {
+		e.gpus = append(e.gpus, gpuStreams{
+			exec:      stream.New(cfg.Sim, fmt.Sprintf("gpu%d/exec", i)),
+			load:      stream.New(cfg.Sim, fmt.Sprintf("gpu%d/load", i)),
+			migration: stream.New(cfg.Sim, fmt.Sprintf("gpu%d/migration", i)),
+		})
+	}
+	return e
+}
+
+// Spec describes one inference to run.
+type Spec struct {
+	Model *dnn.Model
+	Plan  *plan.Plan
+	// Batch overrides the plan's batch size when positive.
+	Batch int
+	// Primary is the GPU that executes the inference.
+	Primary int
+	// Secondaries are the GPUs receiving partitions 1..N-1, in order.
+	// Required iff the plan has multiple partitions.
+	Secondaries []int
+	// Warm skips all loading: Load-method layers are already resident.
+	// DHA-method layers still read host memory — DeepPlan keeps them there
+	// permanently, which is how it packs more instances per GPU (§5.3).
+	Warm bool
+	// ResidentMask, when non-nil, marks individual layers as already
+	// resident on the primary GPU: they are executed in place without
+	// transmission while the rest of the model streams in per inference.
+	// This is the partial-residency mode behind serving models larger than
+	// GPU memory (§7 future work). Ignored when Warm is set. Must match
+	// the model's layer count.
+	ResidentMask []bool
+	// PCM, when non-nil, accumulates PCIe/NVLink traffic for this run.
+	PCM *pcm.Counters
+	// OnDone receives the result when the last layer retires.
+	OnDone func(*Result)
+}
+
+// LayerTiming records one layer's lifecycle within a run.
+type LayerTiming struct {
+	Index     int
+	Name      string
+	Method    plan.Method
+	Partition int
+
+	// LoadStart/LoadDone bound the host→GPU copy (zero for DHA, warm,
+	// and parameterless layers). For secondary partitions this is the copy
+	// onto the secondary GPU.
+	LoadStart, LoadDone sim.Time
+	// AvailAt is when the layer became usable on the primary GPU (after
+	// NVLink forwarding for secondary partitions).
+	AvailAt sim.Time
+	// ExecStart/ExecDone bound execution on the primary GPU.
+	ExecStart, ExecDone sim.Time
+	// Stall is execution-stream idle time waiting for this layer.
+	Stall sim.Duration
+}
+
+// Result summarizes one completed inference.
+type Result struct {
+	Model     string
+	Mode      string
+	Batch     int
+	Primary   int
+	Warm      bool
+	Submitted sim.Time
+	// ExecBegin is when the execution stream reached this run's first layer
+	// (queueing behind earlier runs excluded from stalls).
+	ExecBegin sim.Time
+	Finish    sim.Time
+	Timings   []LayerTiming
+
+	// TotalStall is summed per-layer stall (the paper's Figure 2 metric).
+	TotalStall sim.Duration
+	// BytesLoaded is host→GPU copy traffic; BytesDHA is direct-host-access
+	// traffic; BytesNVLink is forwarding traffic.
+	BytesLoaded, BytesDHA, BytesNVLink float64
+	// LoadWindow bounds all PCIe copy activity of this run.
+	LoadWindowStart, LoadWindowEnd sim.Time
+}
+
+// Latency is submission-to-finish time.
+func (r *Result) Latency() sim.Duration { return r.Finish.Sub(r.Submitted) }
+
+// ExecTime is the execution-stream occupancy (first layer start to finish).
+func (r *Result) ExecTime() sim.Duration { return r.Finish.Sub(r.ExecBegin) }
+
+// AvgPCIeBandwidth is copy bytes over the copy window — the quantity the
+// paper reports in Table 2. Zero if the run loaded nothing.
+func (r *Result) AvgPCIeBandwidth() float64 {
+	if r.BytesLoaded == 0 || r.LoadWindowEnd <= r.LoadWindowStart {
+		return 0
+	}
+	return r.BytesLoaded / r.LoadWindowEnd.Sub(r.LoadWindowStart).Seconds()
+}
+
+// Start validates the spec and schedules the run. The returned error covers
+// structural problems only; execution itself proceeds inside the simulator.
+func (e *Engine) Start(spec Spec) error {
+	if spec.Model == nil || spec.Plan == nil {
+		return fmt.Errorf("engine: spec needs a model and a plan")
+	}
+	if err := spec.Plan.Validate(spec.Model); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if spec.Primary < 0 || spec.Primary >= len(e.gpus) {
+		return fmt.Errorf("engine: primary GPU %d out of range", spec.Primary)
+	}
+	want := spec.Plan.NumParts - 1
+	if spec.Warm {
+		want = 0 // nothing is transmitted on a warm run
+	}
+	if got := len(spec.Secondaries); got != want {
+		return fmt.Errorf("engine: plan %s/%s needs %d secondaries, got %d",
+			spec.Plan.ModelName, spec.Plan.Mode, want, got)
+	}
+	for _, s := range spec.Secondaries {
+		if s < 0 || s >= len(e.gpus) || s == spec.Primary {
+			return fmt.Errorf("engine: bad secondary GPU %d", s)
+		}
+		if !e.topo.HasNVLink(s, spec.Primary) {
+			return fmt.Errorf("engine: no NVLink from GPU %d to primary %d", s, spec.Primary)
+		}
+	}
+	if spec.ResidentMask != nil && len(spec.ResidentMask) != spec.Model.NumLayers() {
+		return fmt.Errorf("engine: resident mask has %d entries for %d layers",
+			len(spec.ResidentMask), spec.Model.NumLayers())
+	}
+	batch := spec.Batch
+	if batch < 1 {
+		batch = spec.Plan.Batch
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	e.schedule(spec, batch)
+	return nil
+}
+
+// resident reports whether layer i needs no transmission in this run.
+func resident(spec *Spec, i int) bool {
+	return spec.Warm || (spec.ResidentMask != nil && spec.ResidentMask[i])
+}
+
+type runState struct {
+	res       *Result
+	remaining int
+}
+
+func (e *Engine) schedule(spec Spec, batch int) {
+	m := spec.Model
+	p := spec.Plan
+	primary := e.gpus[spec.Primary]
+	hostPath := e.topo.HostToGPUPath(spec.Primary)
+
+	rs := &runState{res: &Result{
+		Model:     m.Name,
+		Mode:      p.Mode,
+		Batch:     batch,
+		Primary:   spec.Primary,
+		Warm:      spec.Warm,
+		Submitted: e.sim.Now(),
+		Timings:   make([]LayerTiming, m.NumLayers()),
+	}}
+	for i := range rs.res.Timings {
+		rs.res.Timings[i] = LayerTiming{
+			Index:     i,
+			Name:      m.Layers[i].Name,
+			Method:    p.Layers[i].Method,
+			Partition: p.Layers[i].Partition,
+		}
+	}
+
+	baseline := p.Mode == "baseline"
+	availEvents := make([]*stream.Event, m.NumLayers())
+	var lastLoadEvent *stream.Event
+
+	// Phase 1: schedule transmissions.
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		lp := &p.Layers[i]
+		t := &rs.res.Timings[i]
+		if resident(&spec, i) || lp.Method != plan.Load || !l.HasParams() {
+			continue // nothing to transmit
+		}
+		bytes := float64(l.ParamBytes)
+		rs.res.BytesLoaded += bytes
+		if spec.PCM != nil {
+			spec.PCM.AddLoad(bytes)
+		}
+		arrive := stream.NewEvent()
+		if lp.Partition == 0 {
+			e.submitCopy(primary.load, hostPath, bytes, t)
+			primary.load.Record(arrive)
+			arrive.OnFire(func() { t.AvailAt = arrive.FiredAt() })
+		} else {
+			secID := spec.Secondaries[lp.Partition-1]
+			sec := e.gpus[secID]
+			landed := stream.NewEvent()
+			e.submitCopy(sec.load, e.topo.HostToGPUPath(secID), bytes, t)
+			sec.load.Record(landed)
+			// Forward over NVLink once landed on the secondary.
+			nvPath, _ := e.topo.GPUToGPUPath(secID, spec.Primary)
+			rs.res.BytesNVLink += bytes
+			if spec.PCM != nil {
+				spec.PCM.AddNVLink(bytes)
+			}
+			sec.migration.Wait(landed)
+			e.submitNVLinkCopy(sec.migration, nvPath, bytes)
+			sec.migration.Record(arrive)
+			arrive.OnFire(func() { t.AvailAt = arrive.FiredAt() })
+		}
+		availEvents[i] = arrive
+		lastLoadEvent = arrive
+	}
+
+	// Phase 2: schedule execution on the primary GPU.
+	var prevDone sim.Time
+	primary.exec.Do("begin:"+m.Name, func() {
+		rs.res.ExecBegin = e.sim.Now()
+		prevDone = rs.res.ExecBegin
+	})
+	// plainCompute reports whether layer i needs neither an arrival wait nor
+	// a PCIe flow: it is pure GPU compute. Contiguous plain-compute layers
+	// are coalesced into one stream task — semantically identical (the
+	// durations sum) but far cheaper to simulate, which matters for the
+	// million-request trace replays of Figure 15.
+	plainCompute := func(i int) bool {
+		l := &m.Layers[i]
+		lp := &p.Layers[i]
+		if lp.Method == plan.DHA && l.HasParams() {
+			return false
+		}
+		if !resident(&spec, i) && lp.Method == plan.Load && l.HasParams() {
+			return false
+		}
+		return true
+	}
+	for i := 0; i < m.NumLayers(); {
+		if plainCompute(i) {
+			j := i
+			var total sim.Duration
+			for j < m.NumLayers() && plainCompute(j) {
+				total += e.cost.ComputeTime(&m.Layers[j], batch)
+				j++
+			}
+			lo, hi := i, j
+			primary.exec.Submit("exec-seg:"+m.Layers[lo].Name, func(done func()) {
+				segStart := e.sim.Now()
+				rs.res.Timings[lo].Stall = segStart.Sub(prevDone)
+				e.sim.After(total, func() {
+					// Attribute per-layer windows inside the segment.
+					at := segStart
+					for k := lo; k < hi; k++ {
+						tk := &rs.res.Timings[k]
+						tk.ExecStart = at
+						at = at.Add(e.cost.ComputeTime(&m.Layers[k], batch))
+						tk.ExecDone = at
+					}
+					prevDone = e.sim.Now()
+					done()
+				})
+			})
+			i = j
+			continue
+		}
+
+		l := &m.Layers[i]
+		lp := &p.Layers[i]
+		t := &rs.res.Timings[i]
+
+		if !resident(&spec, i) && lp.Method == plan.Load && l.HasParams() {
+			if baseline {
+				if lastLoadEvent != nil {
+					primary.exec.Wait(lastLoadEvent)
+				}
+			} else if availEvents[i] != nil {
+				primary.exec.Wait(availEvents[i])
+			}
+		}
+		switch {
+		case lp.Method == plan.DHA && l.HasParams():
+			dhaBytes := e.cost.DHABytes(l, batch)
+			rs.res.BytesDHA += dhaBytes
+			if spec.PCM != nil {
+				spec.PCM.AddDHA(dhaBytes)
+			}
+			compute := e.cost.ComputeTime(l, batch)
+			primary.exec.Submit("dha:"+l.Name, func(done func()) {
+				t.ExecStart = e.sim.Now()
+				t.Stall = t.ExecStart.Sub(prevDone)
+				pending := 2
+				finish := func() {
+					pending--
+					if pending != 0 {
+						return
+					}
+					// The fixed DHA penalty lands after compute and reads.
+					e.sim.After(e.cost.DHAFixedOverhead, func() {
+						t.ExecDone = e.sim.Now()
+						prevDone = t.ExecDone
+						done()
+					})
+				}
+				e.net.StartFlow("dha:"+l.Name, hostPath, dhaBytes, func(sim.Time) { finish() })
+				e.sim.After(compute, finish)
+			})
+		default:
+			compute := e.cost.ComputeTime(l, batch)
+			primary.exec.Submit("exec:"+l.Name, func(done func()) {
+				t.ExecStart = e.sim.Now()
+				t.Stall = t.ExecStart.Sub(prevDone)
+				e.sim.After(compute, func() {
+					t.ExecDone = e.sim.Now()
+					prevDone = t.ExecDone
+					done()
+				})
+			})
+		}
+		i++
+	}
+	primary.exec.Do("finish:"+m.Name, func() {
+		rs.res.Finish = e.sim.Now()
+		e.finalize(rs.res)
+		if spec.OnDone != nil {
+			spec.OnDone(rs.res)
+		}
+	})
+}
+
+// submitCopy enqueues a host→GPU copy: fixed per-copy overhead, then a PCIe
+// flow. Timing is captured into t.
+func (e *Engine) submitCopy(ld *stream.Stream, path []*simnet.Link, bytes float64, t *LayerTiming) {
+	ld.Submit("copy:"+t.Name, func(done func()) {
+		t.LoadStart = e.sim.Now()
+		e.sim.After(sim.Duration(e.topo.PerCopyOverheadNanos), func() {
+			e.net.StartFlow("copy:"+t.Name, path, bytes, func(at sim.Time) {
+				t.LoadDone = at
+				done()
+			})
+		})
+	})
+}
+
+// submitNVLinkCopy enqueues a GPU→GPU forwarding copy on a migration stream.
+func (e *Engine) submitNVLinkCopy(mig *stream.Stream, path []*simnet.Link, bytes float64) {
+	mig.Submit("forward", func(done func()) {
+		e.sim.After(sim.Duration(e.topo.NVLinkCopyOverheadNanos), func() {
+			e.net.StartFlow("forward", path, bytes, func(sim.Time) { done() })
+		})
+	})
+}
+
+// finalize derives the aggregate result fields from per-layer timings.
+func (e *Engine) finalize(r *Result) {
+	first, last := sim.MaxTime, sim.Time(0)
+	for i := range r.Timings {
+		t := &r.Timings[i]
+		r.TotalStall += t.Stall
+		if t.LoadDone > 0 {
+			if t.LoadStart < first {
+				first = t.LoadStart
+			}
+			if t.LoadDone > last {
+				last = t.LoadDone
+			}
+		}
+	}
+	if last > 0 {
+		r.LoadWindowStart, r.LoadWindowEnd = first, last
+	}
+}
+
+// ExecIdle reports whether a GPU's execution stream is idle (used by the
+// serving scheduler).
+func (e *Engine) ExecIdle(gpu int) bool { return e.gpus[gpu].exec.Idle() }
+
+// RunOnce builds a fresh simulator+network around the given topology, runs a
+// single inference to completion, and returns its result. The topology must
+// be freshly constructed (its links carry simulation state).
+func RunOnce(topo *topology.Topology, cost *costmodel.Params, spec Spec) (*Result, error) {
+	s := sim.New()
+	e := New(Config{Sim: s, Net: simnet.New(s), Topo: topo, Cost: cost})
+	var res *Result
+	prev := spec.OnDone
+	spec.OnDone = func(r *Result) {
+		res = r
+		if prev != nil {
+			prev(r)
+		}
+	}
+	if err := e.Start(spec); err != nil {
+		return nil, err
+	}
+	s.Run()
+	if res == nil {
+		return nil, fmt.Errorf("engine: run did not complete")
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+
+	"deepplan/internal/planner"
+	"deepplan/internal/topology"
+)
+
+func TestResidentMaskSkipsTransmission(t *testing.T) {
+	f := fix(t, "bert-base")
+	p := f.pl.PlanPipeSwitch(f.prof)
+	mask := make([]bool, f.model.NumLayers())
+	for i := range mask {
+		mask[i] = true
+	}
+	res, err := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: p, Primary: 0, ResidentMask: mask,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesLoaded != 0 {
+		t.Fatalf("fully-resident mask loaded %g bytes", res.BytesLoaded)
+	}
+	// Equivalent to a warm run.
+	warm, _ := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: p, Primary: 0, Warm: true,
+	})
+	if res.Latency() != warm.Latency() {
+		t.Fatalf("all-resident (%v) != warm (%v)", res.Latency(), warm.Latency())
+	}
+}
+
+func TestPartialResidencyStreamsOverflowOnly(t *testing.T) {
+	f := fix(t, "bert-base")
+	p := f.pl.PlanPipeSwitch(f.prof)
+	// Make the first half resident.
+	mask := make([]bool, f.model.NumLayers())
+	var resident int64
+	for i := 0; i < f.model.NumLayers()/2; i++ {
+		mask[i] = true
+		resident += f.model.Layers[i].ParamBytes
+	}
+	res, err := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: p, Primary: 0, ResidentMask: mask,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoaded := float64(f.model.TotalParamBytes() - resident)
+	if res.BytesLoaded != wantLoaded {
+		t.Fatalf("loaded %g bytes, want %g (only the non-resident half)",
+			res.BytesLoaded, wantLoaded)
+	}
+	cold, _ := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: p, Primary: 0,
+	})
+	if res.Latency() >= cold.Latency() {
+		t.Fatalf("partial residency (%v) not faster than full cold (%v)",
+			res.Latency(), cold.Latency())
+	}
+}
+
+func TestResidentMaskLengthValidated(t *testing.T) {
+	f := fix(t, "resnet50")
+	p := f.pl.PlanPipeSwitch(f.prof)
+	_, err := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: p, Primary: 0, ResidentMask: make([]bool, 3),
+	})
+	if err == nil {
+		t.Fatal("short resident mask accepted")
+	}
+}
+
+// The streaming plan for the 13B model must run end to end and beat the
+// all-DHA alternative by a wide margin (the ext-large experiment's claim).
+func TestStreamingBeatsAllDHAForHugeModel(t *testing.T) {
+	f := fix(t, "synthetic-13b")
+	pl := planner.New(topology.P38xlarge())
+	budget := int64(14) << 30
+
+	strPlan, mask, err := pl.PlanStreaming(f.prof, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resident int64
+	for i, r := range mask {
+		if r {
+			resident += f.model.Layers[i].ParamBytes
+		}
+	}
+	if resident > budget {
+		t.Fatalf("streaming residency %d exceeds budget %d", resident, budget)
+	}
+	streaming, err := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: strPlan, Primary: 0, ResidentMask: mask,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dhaPlan, err := pl.PlanLargeModel(f.prof, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allDHA, err := RunOnce(topology.P38xlarge(), f.cost, Spec{
+		Model: f.model, Plan: dhaPlan, Primary: 0, Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(allDHA.Latency()) < 3*float64(streaming.Latency()) {
+		t.Fatalf("streaming (%v) should beat all-DHA (%v) by the FC reuse factor",
+			streaming.Latency(), allDHA.Latency())
+	}
+}

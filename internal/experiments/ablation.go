@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/engine"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+)
+
+// Ablations quantify the design choices behind the reproduction: the
+// planner's warm-aware pruning threshold, the number of transmission
+// partitions on an 8-GPU server, and sensitivity to PCIe and NVLink
+// generation. Registered after the paper artifacts and the §7 extensions.
+
+func init() {
+	registry = append(registry,
+		Experiment{"ablate-prune", "Ablation: planner pruning threshold (cold gain vs warm tax)", AblatePrune},
+		Experiment{"ablate-parts", "Ablation: partition count for parallel transmission (DGX-1, 8 GPUs)", AblateParts},
+		Experiment{"ablate-pcie", "Ablation: PCIe generation vs DeepPlan benefit", AblatePCIe},
+		Experiment{"ablate-nvlink", "Ablation: NVLink bandwidth vs parallel-transmission benefit", AblateNVLink},
+	)
+}
+
+// AblatePrune sweeps the planner's MinDHAGain threshold and reports the
+// cold-start latency and the warm-inference penalty of the resulting plan —
+// the trade-off that motivated warm-aware pruning (see DESIGN.md).
+func AblatePrune(w io.Writer, _ Options) error {
+	header(w, "Ablation: MinDHAGain pruning threshold (BERT-Base and ResNet-50)")
+	cost := defaultCost()
+	for _, name := range []string{"bert-base", "resnet50"} {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return err
+		}
+		prof, err := profiler.Run(m, cost, topology.P38xlarge(), profiler.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s:\n%-14s %8s %10s %10s\n",
+			m.Name, "threshold", "DHA", "cold(ms)", "warm(ms)")
+		for _, th := range []sim.Duration{
+			0, 10 * sim.Microsecond, 25 * sim.Microsecond,
+			100 * sim.Microsecond, sim.Millisecond,
+		} {
+			pl := planner.New(topology.P38xlarge())
+			pl.MinDHAGain = th
+			p := pl.PlanDHA(prof)
+			cold, err := engine.RunOnce(topology.P38xlarge(), cost, engine.Spec{
+				Model: m, Plan: p, Primary: 0,
+			})
+			if err != nil {
+				return err
+			}
+			warm, err := engine.RunOnce(topology.P38xlarge(), cost, engine.Spec{
+				Model: m, Plan: p, Primary: 0, Warm: true,
+			})
+			if err != nil {
+				return err
+			}
+			label := th.String()
+			if th == 0 {
+				label = "none (raw A1)"
+			}
+			fmt.Fprintf(w, "%-14s %8d %10.2f %10.2f\n",
+				label, p.CountDHA(), ms(cold.Latency()), ms(warm.Latency()))
+		}
+	}
+	fmt.Fprintln(w, "\nraw Algorithm 1 converts dozens of tiny layers: marginally better cold-starts,")
+	fmt.Fprintln(w, "permanently slower warm inferences; the default (25us + one-warm-penalty rule)")
+	fmt.Fprintln(w, "keeps the cold-start win and the warm path intact")
+	return nil
+}
+
+// AblateParts sweeps the partition count on an 8-GPU DGX-1: the topology
+// has four PCIe switches, so up to four partitions load in parallel without
+// sharing an uplink.
+func AblateParts(w io.Writer, _ Options) error {
+	header(w, "Ablation: parallel-transmission partitions on DGX-1 (8x V100, 4 switches)")
+	cost := defaultCost()
+	maxParts := planner.New(topology.DGX1()).MaxPartitions()
+	fmt.Fprintf(w, "(NVLink reach caps partitions at %d on this mesh)\n", maxParts)
+	fmt.Fprintf(w, "%-14s", "model")
+	for parts := 1; parts <= maxParts; parts++ {
+		fmt.Fprintf(w, " %8dp", parts)
+	}
+	fmt.Fprintln(w)
+	for _, name := range []string{"bert-base", "bert-large", "roberta-large", "gpt2-medium"} {
+		m, err := dnn.ByName(name)
+		if err != nil {
+			return err
+		}
+		prof, err := profiler.Run(m, cost, topology.DGX1(), profiler.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s", name)
+		for parts := 1; parts <= maxParts; parts++ {
+			topo := topology.DGX1()
+			pl := planner.New(topo)
+			p := pl.PlanPTDHA(prof, parts)
+			secs, err := pl.SelectGPUs(p, 0)
+			if err != nil {
+				return err
+			}
+			res, err := engine.RunOnce(topo, cost, engine.Spec{
+				Model: m, Plan: p, Primary: 0, Secondaries: secs,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, " %7.1fms", ms(res.Latency()))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nreturns diminish: once transmission hides under execution, extra partitions")
+	fmt.Fprintln(w, "only shorten an already-hidden phase (and each costs a busy secondary GPU)")
+	return nil
+}
+
+// pcieVariant builds a p3.8xlarge-like topology with scaled PCIe links.
+func pcieVariant(name string, scale float64) func() *topology.Topology {
+	return func() *topology.Topology {
+		t, err := topology.New(topology.Spec{
+			Name: name, GPUName: "V100", NumGPUs: 4,
+			GPUMemoryBytes:    16 * topology.GiB,
+			GPUsPerSwitch:     2,
+			LaneBandwidth:     11.7e9 * scale,
+			UplinkBandwidth:   12.2e9 * scale,
+			NVLinkBandwidth:   22e9,
+			NVLinkAll:         true,
+			PerCopyOverheadNs: 25_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+}
+
+// AblatePCIe studies how DeepPlan's advantage evolves across PCIe
+// generations (the paper's §5.4 observes it persists under PCIe 4.0).
+func AblatePCIe(w io.Writer, _ Options) error {
+	header(w, "Ablation: PCIe generation (BERT-Base cold start)")
+	cost := defaultCost()
+	m, err := dnn.ByName("bert-base")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n",
+		"PCIe", "pipeswitch", "pt+dha", "speedup", "stall share")
+	for _, gen := range []struct {
+		label string
+		scale float64
+	}{{"gen3", 1}, {"gen4", 1.85}, {"gen5", 3.7}} {
+		build := pcieVariant("pcie-"+gen.label, gen.scale)
+		prof, err := profiler.Run(m, cost, build(), profiler.Options{})
+		if err != nil {
+			return err
+		}
+		pl := planner.New(build())
+		psPlan := pl.PlanPipeSwitch(prof)
+		ptPlan := pl.PlanPTDHA(prof, 2)
+		ps, err := engine.RunOnce(build(), cost, engine.Spec{Model: m, Plan: psPlan, Primary: 0})
+		if err != nil {
+			return err
+		}
+		pt, err := engine.RunOnce(build(), cost, engine.Spec{
+			Model: m, Plan: ptPlan, Primary: 0, Secondaries: []int{2}})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s %10.2fms %10.2fms %11.2fx %11.0f%%\n",
+			gen.label, ms(ps.Latency()), ms(pt.Latency()),
+			ps.Latency().Seconds()/pt.Latency().Seconds(),
+			100*ps.TotalStall.Seconds()/ps.Latency().Seconds())
+	}
+	fmt.Fprintln(w, "\nfaster links shrink the stall DeepPlan eliminates, so the speedup narrows —")
+	fmt.Fprintln(w, "but loading still cannot hide behind batch-1 compute even at gen5")
+	return nil
+}
+
+// AblateNVLink sweeps NVLink bandwidth to show when the reduce phase of
+// parallel transmission stops being free.
+func AblateNVLink(w io.Writer, _ Options) error {
+	header(w, "Ablation: NVLink bandwidth (RoBERTa-Large, PT+DHA, 2 partitions)")
+	cost := defaultCost()
+	m, err := dnn.ByName("roberta-large")
+	if err != nil {
+		return err
+	}
+	variant := func(nv float64) func() *topology.Topology {
+		return func() *topology.Topology {
+			t, err := topology.New(topology.Spec{
+				Name: "nvlink-var", GPUName: "V100", NumGPUs: 4,
+				GPUMemoryBytes: 16 * topology.GiB, GPUsPerSwitch: 2,
+				LaneBandwidth: 11.7e9, UplinkBandwidth: 12.2e9,
+				NVLinkBandwidth: nv, NVLinkAll: true, PerCopyOverheadNs: 25_000,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}
+	}
+	fmt.Fprintf(w, "%-14s %12s\n", "NVLink GB/s", "pt+dha (ms)")
+	for _, nv := range []float64{6e9, 12e9, 22e9, 44e9, 88e9} {
+		build := variant(nv)
+		prof, err := profiler.Run(m, cost, build(), profiler.Options{})
+		if err != nil {
+			return err
+		}
+		pl := planner.New(build())
+		p := pl.PlanPTDHA(prof, 2)
+		res, err := engine.RunOnce(build(), cost, engine.Spec{
+			Model: m, Plan: p, Primary: 0, Secondaries: []int{2}})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14.0f %10.2f\n", nv/1e9, ms(res.Latency()))
+	}
+	fmt.Fprintln(w, "\nbelow the PCIe lane rate the forward hop becomes the bottleneck and PT loses")
+	fmt.Fprintln(w, "its edge; above ~2x PCIe it is effectively free, as on the paper's platform")
+	return nil
+}

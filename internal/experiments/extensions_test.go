@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"deepplan/internal/dnn"
+)
+
+// The MoE scheme ordering must hold for any routing outcome: the oracle is
+// a lower bound, expert-aware transmission beats loading every expert, and
+// it moves strictly fewer bytes.
+func TestMoESchemeOrderingAcrossSeeds(t *testing.T) {
+	m := dnn.SwitchGPT2(8)
+	for seed := int64(0); seed < 6; seed++ {
+		loadAll := runMoECold(m, "load-all", seed)
+		oracle := runMoECold(m, "oracle", seed)
+		dp := runMoECold(m, "deepplan-moe", seed)
+		if !(oracle.latency <= dp.latency && dp.latency < loadAll.latency) {
+			t.Fatalf("seed %d: ordering broken: oracle %v, deepplan %v, load-all %v",
+				seed, oracle.latency, dp.latency, loadAll.latency)
+		}
+		if dp.bytesMoved >= loadAll.bytesMoved {
+			t.Fatalf("seed %d: deepplan-moe moved %g >= load-all %g",
+				seed, dp.bytesMoved, loadAll.bytesMoved)
+		}
+		// On-demand transfer costs at most ~2x the oracle (the router
+		// serializes each expert fetch behind the block's compute).
+		if float64(dp.latency) > 2*float64(oracle.latency) {
+			t.Fatalf("seed %d: deepplan-moe %v too far from oracle %v",
+				seed, dp.latency, oracle.latency)
+		}
+	}
+}
+
+// load-all must transmit every expert; oracle and deepplan only the chosen
+// ones (plus, for deepplan, embeddings stay home).
+func TestMoEBytesAccounting(t *testing.T) {
+	m := dnn.SwitchGPT2(8)
+	loadAll := runMoECold(m, "load-all", 3)
+	oracle := runMoECold(m, "oracle", 3)
+	if loadAll.bytesMoved < float64(m.TotalParamBytes())*0.99 {
+		t.Fatalf("load-all moved %g of %d total", loadAll.bytesMoved, m.TotalParamBytes())
+	}
+	active := float64(m.ActiveParamBytes())
+	if oracle.bytesMoved < active*0.99 || oracle.bytesMoved > active*1.01 {
+		t.Fatalf("oracle moved %g, want ~active %g", oracle.bytesMoved, active)
+	}
+}

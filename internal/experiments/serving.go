@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/serving"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+	"deepplan/internal/workload"
+)
+
+// servingPolicies are the legends of Figures 13-15.
+var servingPolicies = []serving.Policy{
+	serving.PolicyPipeSwitch, serving.PolicyDHA, serving.PolicyPTDHA,
+}
+
+// runServing deploys count instances of one model, warms up, and replays
+// the request sequence.
+func runServing(policy serving.Policy, modelName string, count int, reqs []workload.Request, slo sim.Duration) (*serving.Report, error) {
+	srv, err := serving.New(serving.Config{
+		Topo:   topology.P38xlarge(),
+		Cost:   costmodel.Default(),
+		Policy: policy,
+		SLO:    slo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Deploy(m, count); err != nil {
+		return nil, err
+	}
+	srv.Warmup()
+	return srv.Run(reqs)
+}
+
+// Figure13 sweeps the number of BERT-Base instances at 100 requests/second
+// and reports p99 latency, goodput (SLO 100 ms), and cold-start counts.
+func Figure13(w io.Writer, opts Options) error {
+	header(w, "Figure 13: serving BERT-Base, 100 rps Poisson, SLO 100 ms")
+	concurrencies := []int{100, 120, 140, 160, 180, 200, 220}
+	requests := 1000
+	if opts.Quick {
+		concurrencies = []int{120, 160, 200}
+		requests = 300
+	}
+	fmt.Fprintf(w, "%-12s %6s %10s %9s %11s %9s\n",
+		"policy", "#inst", "p99(ms)", "goodput", "cold-starts", "capacity")
+	for _, pol := range servingPolicies {
+		for _, conc := range concurrencies {
+			reqs := workload.Poisson(42, 100, requests, conc)
+			rep, err := runServing(pol, "bert-base", conc, reqs, 100*sim.Millisecond)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s %6d %10.1f %8.1f%% %11d %9d\n",
+				pol, conc, ms(rep.P99), rep.Goodput*100, rep.ColdStarts, rep.WarmCapacity)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper: PipeSwitch's p99 blows up from 120 instances; DeepPlan (DHA) holds to 160;")
+	fmt.Fprintln(w, "PT+DHA serves 180 within SLO (1.84x goodput at 180); DeepPlan also fits ~24 more")
+	fmt.Fprintln(w, "instances because embeddings stay in host memory")
+	return nil
+}
+
+// Figure14 repeats the sweep for BERT-Large (30 rps) and GPT-2 (90 rps),
+// reporting p99 only, as in the paper.
+func Figure14(w io.Writer, opts Options) error {
+	header(w, "Figure 14: 99% latency for BERT-Large (30 rps) and GPT-2 (90 rps)")
+	requests := 1000
+	if opts.Quick {
+		requests = 300
+	}
+	cases := []struct {
+		model string
+		rate  float64
+		concs []int
+	}{
+		{"bert-large", 30, []int{20, 30, 40, 50, 60}},
+		{"gpt2", 90, []int{40, 60, 80, 100, 120}},
+	}
+	for _, c := range cases {
+		concs := c.concs
+		if opts.Quick {
+			concs = concs[1:4]
+		}
+		fmt.Fprintf(w, "\n%s @ %.0f rps:\n%-12s", c.model, c.rate, "policy")
+		for _, conc := range concs {
+			fmt.Fprintf(w, " %9d", conc)
+		}
+		fmt.Fprintln(w)
+		for _, pol := range servingPolicies {
+			fmt.Fprintf(w, "%-12s", pol)
+			for _, conc := range concs {
+				reqs := workload.Poisson(7, c.rate, requests, conc)
+				rep, err := runServing(pol, c.model, conc, reqs, 100*sim.Millisecond)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %7.0fms", ms(rep.P99))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "\npaper: DeepPlan improves tail latency significantly over PipeSwitch for both")
+	fmt.Fprintln(w, "models; for GPT-2 the DHA and PT+DHA curves nearly coincide")
+	return nil
+}
+
+// Figure15 replays a 3-hour MAF-like trace at 150 rps over a mixed
+// deployment of BERT-Base, RoBERTa-Base, and GPT-2 at 4:4:1.
+func Figure15(w io.Writer, opts Options) error {
+	header(w, "Figure 15: MAF-like trace replay, mixed models 4:4:1, 150 rps, SLO 100 ms")
+	duration := 3 * 3600 * sim.Second
+	rate := 150.0
+	inst := [3]int{48, 48, 12} // BERT-Base : RoBERTa-Base : GPT-2
+	if opts.Quick {
+		duration = 10 * 60 * sim.Second
+	}
+	total := inst[0] + inst[1] + inst[2]
+	tr, err := workload.MAFLike(workload.TraceSpec{
+		Seed: 2023, Duration: duration, TotalRate: rate, NumFunctions: total,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace: %d requests over %.0f min (avg %.1f rps), %d instances\n\n",
+		len(tr.Requests), duration.Minutes(), float64(len(tr.Requests))/duration.Seconds(), total)
+
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %11s %10s\n",
+		"policy", "p50(ms)", "p99(ms)", "goodput", "cold-starts", "worst-min")
+	for _, pol := range servingPolicies {
+		srv, err := serving.New(serving.Config{
+			Topo:   topology.P38xlarge(),
+			Cost:   costmodel.Default(),
+			Policy: pol,
+			SLO:    100 * sim.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		for i, name := range []string{"bert-base", "roberta-base", "gpt2"} {
+			m, err := dnn.ByName(name)
+			if err != nil {
+				return err
+			}
+			if err := srv.Deploy(m, inst[i]); err != nil {
+				return err
+			}
+		}
+		srv.Warmup()
+		rep, err := srv.Run(tr.Requests)
+		if err != nil {
+			return err
+		}
+		// Worst per-minute p99 across the trace (the latency spikes the
+		// paper notes at minutes 9 and 67).
+		var worst sim.Duration
+		for _, ws := range rep.PerWindow {
+			if ws.Requests > 0 && ws.P99 > worst {
+				worst = ws.P99
+			}
+		}
+		fmt.Fprintf(w, "%-12s %9.1f %9.1f %8.1f%% %11d %8.0fms\n",
+			pol, ms(rep.P50), ms(rep.P99), rep.Goodput*100, rep.ColdStarts, ms(worst))
+	}
+	fmt.Fprintln(w, "\npaper: DeepPlan's two designs reach 98-99% goodput where PipeSwitch ranges")
+	fmt.Fprintln(w, "81-98%, with occasional non-persistent latency spikes in individual minutes")
+	return nil
+}

@@ -1,0 +1,168 @@
+package forward
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"deepplan/internal/dnn"
+)
+
+// Checkpoint format for functional weights — the repository's counterpart
+// of a model file a serving system would fetch into pinned host memory at
+// deployment time:
+//
+//	magic "DPW1" | modelName | layerCount u32
+//	per layer: name | floatCount u32 | floats (LE) | crc32(payload) u32
+//
+// Strings are u16-length-prefixed UTF-8. Every layer payload is
+// checksummed so corruption is detected at load, before anything reaches
+// the host store.
+
+const ckptMagic = "DPW1"
+
+// SaveCheckpoint serializes the weights (host master copy).
+func (w *Weights) SaveCheckpoint(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := writeString(bw, w.model.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(w.host))); err != nil {
+		return err
+	}
+	for i, params := range w.host {
+		if err := writeString(bw, w.model.Layers[i].Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+			return err
+		}
+		crc := crc32.NewIEEE()
+		var buf [4]byte
+		for _, v := range params {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+			crc.Write(buf[:])
+		}
+		if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint previously written by SaveCheckpoint
+// into fresh Weights for the given model. Layer names, counts, and
+// checksums are all verified.
+func LoadCheckpoint(m *dnn.Model, in io.Reader) (*Weights, error) {
+	br := bufio.NewReader(in)
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("forward: checkpoint header: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("forward: bad checkpoint magic %q", magic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	if name != m.Name {
+		return nil, fmt.Errorf("forward: checkpoint for %q, want %q", name, m.Name)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if int(count) != m.NumLayers() {
+		return nil, fmt.Errorf("forward: checkpoint has %d layers, model %d", count, m.NumLayers())
+	}
+	w := &Weights{
+		model: m,
+		host:  make([][]float32, count),
+		dev:   make([][]float32, count),
+		pool:  make([]Pool, count),
+	}
+	for i := 0; i < int(count); i++ {
+		lname, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		if lname != w.model.Layers[i].Name {
+			return nil, fmt.Errorf("forward: layer %d is %q in checkpoint, %q in model",
+				i, lname, w.model.Layers[i].Name)
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		wantFloats, err := floatsFor(&w.model.Layers[i])
+		if err != nil {
+			return nil, err
+		}
+		if int(n) != wantFloats {
+			return nil, fmt.Errorf("forward: layer %q has %d floats, layout wants %d",
+				lname, n, wantFloats)
+		}
+		crc := crc32.NewIEEE()
+		if n == 0 {
+			var want uint32
+			if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+				return nil, err
+			}
+			if crc.Sum32() != want {
+				return nil, fmt.Errorf("forward: layer %q checksum mismatch", lname)
+			}
+			continue
+		}
+		params := make([]float32, n)
+		var buf [4]byte
+		for j := range params {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("forward: layer %q payload: %w", lname, err)
+			}
+			crc.Write(buf[:])
+			params[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+		}
+		var want uint32
+		if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+			return nil, err
+		}
+		if crc.Sum32() != want {
+			return nil, fmt.Errorf("forward: layer %q checksum mismatch", lname)
+		}
+		w.host[i] = params
+	}
+	return w, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("forward: string too long (%d)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,113 @@
+package forward
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/plan"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m := tiny()
+	w, err := InitWeights(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mustRun(t, m, w)
+
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(m, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, m, loaded)
+	if !out.Equal(ref) {
+		t.Fatal("round-tripped weights compute a different function")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one byte deep inside a payload.
+	raw[len(raw)/2] ^= 0xFF
+	_, err := LoadCheckpoint(m, bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "layer") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestCheckpointRejectsWrongModel(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dnn.TinyGPT(31, 16, 24, 2, 48, 16, 4) // different vocab
+	if _, err := LoadCheckpoint(other, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("checkpoint accepted for a different model")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := tiny()
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("DPW1"),           // truncated after magic
+		[]byte("DPW1\x02\x00ab"), // name but nothing else
+	}
+	for i, c := range cases {
+		if _, err := LoadCheckpoint(m, bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestCheckpointTruncatedPayload(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()*3/4]
+	if _, err := LoadCheckpoint(m, bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestLoadedWeightsPlaceable(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(m, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement works identically on loaded weights.
+	p := plan.AllLoad(m, "pipeswitch", 1)
+	if err := loaded.Place(p); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DeviceBytes() != p.ResidentBytes(m) {
+		t.Fatal("placement accounting broken on loaded weights")
+	}
+}

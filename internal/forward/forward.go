@@ -1,0 +1,246 @@
+// Package forward executes real forward passes through functionally-
+// annotated models (dnn.TinyGPT) with deterministic synthetic weights,
+// honouring an execution plan's weight placement.
+//
+// The point is correctness, not speed: a plan decides *where* each layer's
+// weights live (GPU memory vs pinned host memory via direct-host-access)
+// and *how* they travel there (direct copy vs relayed through a secondary
+// GPU) — none of which may alter the computation. This package proves the
+// property end to end: identical outputs, bit for bit, under every plan,
+// with the device arena holding exactly the plan's resident bytes.
+package forward
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/plan"
+	"deepplan/internal/tensor"
+)
+
+// Pool identifies where a layer's weights reside.
+type Pool int
+
+// Weight pools.
+const (
+	// Host is pinned host memory (cudaHostAlloc): the initial home of all
+	// weights and the permanent home of DHA layers.
+	Host Pool = iota
+	// Device is GPU memory: Load-method layers are copied here.
+	Device
+)
+
+// Weights holds per-layer parameter vectors for a model, split between a
+// host arena and a device arena according to a placement.
+type Weights struct {
+	model *dnn.Model
+	host  [][]float32 // always populated (the pinned master copy)
+	dev   [][]float32 // populated for Device-placed layers only
+	pool  []Pool
+}
+
+// floatsFor returns the parameter layout length for a layer, derived from
+// its functional Dims. It must agree with the layer's ParamBytes.
+func floatsFor(l *dnn.Layer) (int, error) {
+	switch l.Kind {
+	case dnn.Embedding:
+		if len(l.Dims) != 2 {
+			return 0, fmt.Errorf("forward: embedding %s missing Dims", l.Name)
+		}
+		return l.Dims[0] * l.Dims[1], nil
+	case dnn.Linear:
+		if l.ParamBytes == 0 {
+			return 0, nil // tied head
+		}
+		if len(l.Dims) != 2 {
+			return 0, fmt.Errorf("forward: linear %s missing Dims", l.Name)
+		}
+		return l.Dims[0]*l.Dims[1] + l.Dims[1], nil // weight + bias
+	case dnn.LayerNorm:
+		if len(l.Dims) != 1 {
+			return 0, fmt.Errorf("forward: layernorm %s missing Dims", l.Name)
+		}
+		return 2 * l.Dims[0], nil // gamma + beta
+	case dnn.Conv2D:
+		if len(l.Dims) != 5 {
+			return 0, fmt.Errorf("forward: conv %s missing Dims", l.Name)
+		}
+		ic, oc, k := l.Dims[0], l.Dims[1], l.Dims[2]
+		return ic*oc*k*k + oc, nil // weights + bias
+	case dnn.BatchNorm:
+		if len(l.Dims) != 1 {
+			return 0, fmt.Errorf("forward: batchnorm %s missing Dims", l.Name)
+		}
+		return 4 * l.Dims[0], nil // gamma, beta, mean, var
+	default:
+		return 0, nil
+	}
+}
+
+// InitWeights builds deterministic pseudo-random weights for a functional
+// model; all layers start in the Host pool. It fails if a layer's declared
+// ParamBytes disagrees with its functional layout — a cross-check between
+// the timing IR and the functional IR.
+func InitWeights(m *dnn.Model, seed int64) (*Weights, error) {
+	rng := rand.New(rand.NewSource(seed))
+	w := &Weights{
+		model: m,
+		host:  make([][]float32, m.NumLayers()),
+		dev:   make([][]float32, m.NumLayers()),
+		pool:  make([]Pool, m.NumLayers()),
+	}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		n, err := floatsFor(l)
+		if err != nil {
+			return nil, err
+		}
+		if int64(n)*4 != l.ParamBytes {
+			return nil, fmt.Errorf("forward: layer %s layout %d floats vs ParamBytes %d",
+				l.Name, n, l.ParamBytes)
+		}
+		if n == 0 {
+			continue
+		}
+		v := make([]float32, n)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64()) * 0.05
+		}
+		// Normalization parameters initialize as real frameworks do:
+		// gamma ~ 1, beta ~ 0, and (for BatchNorm) a strictly positive
+		// running variance.
+		switch l.Kind {
+		case dnn.LayerNorm:
+			for j := 0; j < l.Dims[0]; j++ {
+				v[j] = 1 + v[j]*0.01
+			}
+		case dnn.BatchNorm:
+			c := l.Dims[0]
+			for j := 0; j < c; j++ {
+				v[j] = 1 + v[j]*0.01 // gamma
+				if vr := v[3*c+j]; vr < 0 {
+					v[3*c+j] = -vr
+				}
+				v[3*c+j] += 1 // variance >= 1
+			}
+		}
+		w.host[i] = v
+	}
+	return w, nil
+}
+
+// Place applies a plan's placement: Load-method layers are copied into the
+// device arena (a real memcpy — the simulated transfer's functional
+// counterpart); DHA layers remain host-only.
+func (w *Weights) Place(p *plan.Plan) error {
+	if err := p.Validate(w.model); err != nil {
+		return err
+	}
+	for i := range w.model.Layers {
+		w.dev[i] = nil
+		w.pool[i] = Host
+		if w.host[i] == nil {
+			continue
+		}
+		if p.Layers[i].Method == plan.Load {
+			cp := make([]float32, len(w.host[i]))
+			copy(cp, w.host[i])
+			w.dev[i] = cp
+			w.pool[i] = Device
+		}
+	}
+	return nil
+}
+
+// PoolOf returns where layer i's weights currently live.
+func (w *Weights) PoolOf(i int) Pool { return w.pool[i] }
+
+// DeviceBytes returns the bytes currently held in the device arena; it must
+// equal the plan's ResidentBytes after Place.
+func (w *Weights) DeviceBytes() int64 {
+	var t int64
+	for _, v := range w.dev {
+		t += int64(len(v)) * 4
+	}
+	return t
+}
+
+// fetch returns the active parameter vector for layer i.
+func (w *Weights) fetch(i int) []float32 {
+	if w.pool[i] == Device && w.dev[i] != nil {
+		return w.dev[i]
+	}
+	return w.host[i]
+}
+
+// Run executes a forward pass over the token ids and returns the final
+// logits (seq x vocab).
+func Run(m *dnn.Model, w *Weights, ids []int) (*tensor.Tensor, error) {
+	if w == nil || w.model != m {
+		return nil, fmt.Errorf("forward: weights not initialized for this model")
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("forward: empty input")
+	}
+	if m.SeqLen > 0 && len(ids) > m.SeqLen {
+		return nil, fmt.Errorf("forward: %d ids exceed max sequence %d", len(ids), m.SeqLen)
+	}
+	var x *tensor.Tensor
+	stash := make([]*tensor.Tensor, m.NumLayers())
+	var wordTable *tensor.Tensor
+
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		params := w.fetch(i)
+		switch l.Kind {
+		case dnn.Embedding:
+			table := tensor.FromData(l.Dims[0], l.Dims[1], params)
+			var rows []int
+			if i == 0 {
+				wordTable = table
+				rows = ids
+			} else {
+				// Position embedding: positions 0..len-1.
+				rows = make([]int, len(ids))
+				for j := range rows {
+					rows[j] = j
+				}
+			}
+			e := tensor.EmbeddingLookup(table, rows)
+			if x == nil {
+				x = e
+			} else {
+				x = tensor.Add(x, e)
+			}
+		case dnn.LayerNorm:
+			d := l.Dims[0]
+			x = tensor.LayerNorm(x, params[:d], params[d:], 1e-5)
+		case dnn.Linear:
+			if l.ParamBytes == 0 {
+				// Tied LM head: logits = x * wordTable^T.
+				if wordTable == nil {
+					return nil, fmt.Errorf("forward: tied head before word embedding")
+				}
+				x = tensor.MatMulT(x, wordTable)
+				break
+			}
+			in, out := l.Dims[0], l.Dims[1]
+			wt := tensor.FromData(in, out, params[:in*out])
+			x = tensor.MatMul(x, wt).AddBias(params[in*out:])
+		case dnn.Attention:
+			x = tensor.CausalSelfAttention(x, l.Dims[0])
+		case dnn.Activation:
+			x = x.Clone().GELU()
+		case dnn.Residual:
+			if l.SkipFrom < 0 || l.SkipFrom >= i || stash[l.SkipFrom] == nil {
+				return nil, fmt.Errorf("forward: residual %s has bad SkipFrom %d", l.Name, l.SkipFrom)
+			}
+			x = tensor.Add(x, stash[l.SkipFrom])
+		default:
+			return nil, fmt.Errorf("forward: unsupported kind %v in %s", l.Kind, l.Name)
+		}
+		stash[i] = x
+	}
+	return x, nil
+}

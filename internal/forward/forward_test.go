@@ -1,0 +1,181 @@
+package forward
+
+import (
+	"math"
+	"testing"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/plan"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/tensor"
+	"deepplan/internal/topology"
+)
+
+func tiny() *dnn.Model {
+	// vocab 97, maxPos 16, hidden 24, 2 layers, ffn 48, seq 16, 4 heads.
+	return dnn.TinyGPT(97, 16, 24, 2, 48, 16, 4)
+}
+
+var sampleIDs = []int{5, 17, 3, 96, 0, 42, 7, 7}
+
+func mustRun(t *testing.T, m *dnn.Model, w *Weights) *tensor.Tensor {
+	t.Helper()
+	out, err := Run(m, w, sampleIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestForwardShapeAndFiniteness(t *testing.T) {
+	m := tiny()
+	w, err := InitWeights(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, m, w)
+	if out.Rows != len(sampleIDs) || out.Cols != 97 {
+		t.Fatalf("logits shape %dx%d, want %dx97", out.Rows, out.Cols, len(sampleIDs))
+	}
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite logit")
+		}
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m := tiny()
+	w1, _ := InitWeights(m, 7)
+	w2, _ := InitWeights(m, 7)
+	if !mustRun(t, m, w1).Equal(mustRun(t, m, w2)) {
+		t.Fatal("identical seeds produced different outputs")
+	}
+	w3, _ := InitWeights(m, 8)
+	if mustRun(t, m, w1).Equal(mustRun(t, m, w3)) {
+		t.Fatal("different seeds produced identical outputs")
+	}
+}
+
+func TestForwardDependsOnInput(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 1)
+	a, err := Run(m, w, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, w, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("different inputs produced identical logits")
+	}
+	// Causality end to end: changing the last token leaves earlier rows
+	// untouched.
+	for j := 0; j < a.Cols; j++ {
+		if a.At(0, j) != b.At(0, j) || a.At(1, j) != b.At(1, j) {
+			t.Fatal("future token changed earlier logits")
+		}
+	}
+}
+
+// The core claim: every execution plan computes the identical function.
+func TestPlacementInvariance(t *testing.T) {
+	m := tiny()
+	prof, err := profiler.Run(m, costmodel.Default(), topology.P38xlarge(), profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(topology.P38xlarge())
+	plans := map[string]*plan.Plan{
+		"baseline":   pl.PlanBaseline(prof),
+		"pipeswitch": pl.PlanPipeSwitch(prof),
+		"dha":        pl.PlanDHA(prof),
+		"pt":         pl.PlanPT(prof, 2),
+		"pt+dha":     pl.PlanPTDHA(prof, 2),
+	}
+
+	w, err := InitWeights(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reference *tensor.Tensor
+	for name, p := range plans {
+		if err := w.Place(p); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got, want := w.DeviceBytes(), p.ResidentBytes(m); got != want {
+			t.Errorf("%s: device arena %d bytes, plan resident %d", name, got, want)
+		}
+		out := mustRun(t, m, w)
+		if reference == nil {
+			reference = out
+			continue
+		}
+		if !out.Equal(reference) {
+			t.Errorf("%s: output differs from baseline (max diff %g)",
+				name, out.MaxAbsDiff(reference))
+		}
+	}
+}
+
+func TestDHAPlanKeepsEmbeddingsInHost(t *testing.T) {
+	m := tiny()
+	prof, err := profiler.Run(m, costmodel.Default(), topology.P38xlarge(), profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(topology.P38xlarge())
+	p := pl.PlanDHA(prof)
+	w, _ := InitWeights(m, 1)
+	if err := w.Place(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Layers {
+		if p.Layers[i].Method == plan.DHA && w.PoolOf(i) != Host {
+			t.Errorf("DHA layer %s not host-resident", m.Layers[i].Name)
+		}
+		if p.Layers[i].Method == plan.Load && m.Layers[i].HasParams() && w.PoolOf(i) != Device {
+			t.Errorf("Load layer %s not device-resident", m.Layers[i].Name)
+		}
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 1)
+	other := tiny()
+	if _, err := Run(other, w, sampleIDs); err == nil {
+		t.Fatal("weights accepted for a different model instance")
+	}
+	if _, err := Run(m, w, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Run(m, w, make([]int, 99)); err == nil {
+		t.Fatal("overlong input accepted")
+	}
+	// Zoo models carry no functional Dims and must be rejected cleanly.
+	bert, _ := dnn.ByName("bert-base")
+	if _, err := InitWeights(bert, 1); err == nil {
+		t.Fatal("timing-only model accepted for functional execution")
+	}
+}
+
+func TestWeightPerturbationChangesOutput(t *testing.T) {
+	m := tiny()
+	w, _ := InitWeights(m, 1)
+	ref := mustRun(t, m, w).Clone()
+	// Perturb one weight of the first attention projection.
+	for i := range m.Layers {
+		if m.Layers[i].Kind == dnn.Linear && m.Layers[i].ParamBytes > 0 {
+			w.host[i][0] += 1
+			break
+		}
+	}
+	if mustRun(t, m, w).Equal(ref) {
+		t.Fatal("perturbed weights produced identical outputs")
+	}
+}

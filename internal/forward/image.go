@@ -1,0 +1,77 @@
+package forward
+
+import (
+	"fmt"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/tensor"
+)
+
+// CNN functional execution (dnn.TinyCNN models).
+//
+// Dataflow rules, shared with the transformer path:
+//   - layers consume the running activation, except that a positive
+//     SkipFrom on a *non-residual* layer re-roots its input at that layer's
+//     stashed output (projection shortcuts branch from the block input);
+//   - a Residual layer adds stash[SkipFrom] to the running activation.
+
+// RunImage executes a CNN forward pass over a CHW image and returns the
+// class logits (1 x classes).
+func RunImage(m *dnn.Model, w *Weights, img *tensor.Image) (*tensor.Tensor, error) {
+	if w == nil || w.model != m {
+		return nil, fmt.Errorf("forward: weights not initialized for this model")
+	}
+	if img == nil {
+		return nil, fmt.Errorf("forward: nil input image")
+	}
+	var fm *tensor.Image   // feature-map activation
+	var vec *tensor.Tensor // post-pool vector activation
+	fm = img
+	stash := make([]*tensor.Image, m.NumLayers())
+
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		params := w.fetch(i)
+		// Re-root a branching layer's input.
+		if l.Kind != dnn.Residual && l.SkipFrom > 0 {
+			if stash[l.SkipFrom] == nil {
+				return nil, fmt.Errorf("forward: %s branches from unstashed layer %d", l.Name, l.SkipFrom)
+			}
+			fm = stash[l.SkipFrom]
+		}
+		switch l.Kind {
+		case dnn.Conv2D:
+			oc, k, stride, pad := l.Dims[1], l.Dims[2], l.Dims[3], l.Dims[4]
+			fm = tensor.Conv2D(fm, params, oc, k, stride, pad)
+		case dnn.BatchNorm:
+			fm = tensor.BatchNorm2D(fm, params, 1e-5)
+		case dnn.Activation:
+			fm = tensor.ReLUImage(fm)
+		case dnn.Pooling:
+			if len(l.Dims) == 2 {
+				fm = tensor.MaxPool2D(fm, l.Dims[0], l.Dims[1])
+			} else {
+				vec = tensor.GlobalAvgPool(fm)
+			}
+		case dnn.Residual:
+			if l.SkipFrom <= 0 || stash[l.SkipFrom] == nil {
+				return nil, fmt.Errorf("forward: residual %s has bad SkipFrom %d", l.Name, l.SkipFrom)
+			}
+			fm = tensor.AddImage(fm, stash[l.SkipFrom])
+		case dnn.Linear:
+			if vec == nil {
+				return nil, fmt.Errorf("forward: classifier %s before pooling", l.Name)
+			}
+			in, out := l.Dims[0], l.Dims[1]
+			wt := tensor.FromData(in, out, params[:in*out])
+			vec = tensor.MatMul(vec, wt).AddBias(params[in*out:])
+		default:
+			return nil, fmt.Errorf("forward: unsupported CNN kind %v in %s", l.Kind, l.Name)
+		}
+		stash[i] = fm
+	}
+	if vec == nil {
+		return nil, fmt.Errorf("forward: model produced no logits")
+	}
+	return vec, nil
+}

@@ -1,0 +1,157 @@
+package forward
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/plan"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/tensor"
+	"deepplan/internal/topology"
+)
+
+func tinyCNN() *dnn.Model { return dnn.TinyCNN(3, 8, 10, 16) }
+
+func sampleImage(seed int64) *tensor.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := tensor.NewImage(3, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = float32(rng.NormFloat64())
+	}
+	return img
+}
+
+func TestCNNForwardShapeAndFiniteness(t *testing.T) {
+	m := tinyCNN()
+	w, err := InitWeights(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunImage(m, w, sampleImage(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 1 || out.Cols != 10 {
+		t.Fatalf("logits %dx%d, want 1x10", out.Rows, out.Cols)
+	}
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite logit")
+		}
+	}
+}
+
+func TestCNNPlacementInvariance(t *testing.T) {
+	m := tinyCNN()
+	prof, err := profiler.Run(m, costmodel.Default(), topology.P38xlarge(), profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(topology.P38xlarge())
+	w, err := InitWeights(m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sampleImage(3)
+	var ref *tensor.Tensor
+	for _, p := range []*plan.Plan{
+		pl.PlanBaseline(prof), pl.PlanPipeSwitch(prof),
+		pl.PlanDHA(prof), pl.PlanPTDHA(prof, 2),
+	} {
+		if err := w.Place(p); err != nil {
+			t.Fatal(err)
+		}
+		if w.DeviceBytes() != p.ResidentBytes(m) {
+			t.Fatalf("%s: device arena %d != resident %d", p.Mode, w.DeviceBytes(), p.ResidentBytes(m))
+		}
+		out, err := RunImage(m, w, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		if !out.Equal(ref) {
+			t.Fatalf("%s: CNN output differs under placement", p.Mode)
+		}
+	}
+}
+
+// The residual block must actually use its shortcut: zeroing the main
+// path's last BatchNorm gamma leaves the projection contribution alive.
+func TestCNNResidualDataflow(t *testing.T) {
+	m := tinyCNN()
+	w, _ := InitWeights(m, 4)
+	img := sampleImage(5)
+	ref, err := RunImage(m, w, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find block.bn2 and zero its gamma and beta: kills the main path.
+	for i := range m.Layers {
+		if m.Layers[i].Name == "block.bn2" {
+			c := m.Layers[i].Dims[0]
+			for j := 0; j < 2*c; j++ {
+				w.host[i][j] = 0
+			}
+		}
+	}
+	out, err := RunImage(m, w, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Equal(ref) {
+		t.Fatal("zeroing bn2 changed nothing: main path unused?")
+	}
+	// With the main path dead the output must still be nonzero thanks to
+	// the projection shortcut.
+	var sum float64
+	for _, v := range out.Data {
+		sum += math.Abs(float64(v))
+	}
+	if sum == 0 {
+		t.Fatal("projection shortcut contributed nothing")
+	}
+}
+
+func TestCNNCheckpointRoundTrip(t *testing.T) {
+	m := tinyCNN()
+	w, _ := InitWeights(m, 6)
+	ref, err := RunImage(m, w, sampleImage(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(m, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunImage(m, loaded, sampleImage(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(ref) {
+		t.Fatal("CNN checkpoint round trip changed the function")
+	}
+}
+
+func TestCNNInputValidation(t *testing.T) {
+	m := tinyCNN()
+	w, _ := InitWeights(m, 1)
+	if _, err := RunImage(m, w, nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	other := tinyCNN()
+	if _, err := RunImage(other, w, sampleImage(1)); err == nil {
+		t.Fatal("foreign weights accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Package hostmem tracks pinned host memory registrations.
+//
+// Direct-host-access requires model weights to live in page-locked (pinned)
+// host memory so the GPU can read them over PCIe (`cudaHostAlloc`). The
+// serving system pins every deployed model's weights once at deployment time
+// and keeps them pinned for the model's lifetime, which is what makes
+// eviction from GPU memory free (only the device copy is dropped). This
+// package is the accounting ledger for that host-side store.
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Region is one pinned allocation.
+type Region struct {
+	name  string
+	bytes int64
+	store *Store
+	freed bool
+}
+
+// Name returns the registration label.
+func (r *Region) Name() string { return r.name }
+
+// Bytes returns the pinned size.
+func (r *Region) Bytes() int64 { return r.bytes }
+
+// Store is a ledger of pinned host memory with a capacity limit.
+type Store struct {
+	capacity int64
+	pinned   int64
+	regions  map[string]*Region
+}
+
+// NewStore returns a store with the given capacity in bytes (e.g. the
+// p3.8xlarge's 244 GB of host DRAM).
+func NewStore(capacity int64) *Store {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("hostmem: capacity must be positive, got %d", capacity))
+	}
+	return &Store{capacity: capacity, regions: map[string]*Region{}}
+}
+
+// Capacity returns the configured host memory capacity.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Pinned returns the total bytes currently pinned.
+func (s *Store) Pinned() int64 { return s.pinned }
+
+// Pin registers a pinned region under a unique name.
+func (s *Store) Pin(name string, bytes int64) (*Region, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("hostmem: invalid pin size %d for %q", bytes, name)
+	}
+	if _, ok := s.regions[name]; ok {
+		return nil, fmt.Errorf("hostmem: region %q already pinned", name)
+	}
+	if s.pinned+bytes > s.capacity {
+		return nil, fmt.Errorf("hostmem: pinning %q (%d bytes) exceeds capacity (%d pinned of %d)",
+			name, bytes, s.pinned, s.capacity)
+	}
+	r := &Region{name: name, bytes: bytes, store: s}
+	s.regions[name] = r
+	s.pinned += bytes
+	return r, nil
+}
+
+// Unpin releases a region.
+func (s *Store) Unpin(r *Region) error {
+	if r == nil {
+		return errors.New("hostmem: unpin of nil region")
+	}
+	if r.store != s {
+		return errors.New("hostmem: region belongs to a different store")
+	}
+	if r.freed {
+		return fmt.Errorf("hostmem: double unpin of %q", r.name)
+	}
+	r.freed = true
+	delete(s.regions, r.name)
+	s.pinned -= r.bytes
+	return nil
+}
+
+// Lookup returns the region pinned under name, if any.
+func (s *Store) Lookup(name string) (*Region, bool) {
+	r, ok := s.regions[name]
+	return r, ok
+}

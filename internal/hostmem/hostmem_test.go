@@ -1,0 +1,86 @@
+package hostmem
+
+import "testing"
+
+func TestPinUnpin(t *testing.T) {
+	s := NewStore(1000)
+	r, err := s.Pin("bert", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "bert" || r.Bytes() != 400 {
+		t.Fatalf("region = {%q %d}", r.Name(), r.Bytes())
+	}
+	if s.Pinned() != 400 {
+		t.Fatalf("Pinned = %d", s.Pinned())
+	}
+	if got, ok := s.Lookup("bert"); !ok || got != r {
+		t.Fatal("Lookup failed")
+	}
+	if err := s.Unpin(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pinned() != 0 {
+		t.Fatalf("Pinned after unpin = %d", s.Pinned())
+	}
+	if _, ok := s.Lookup("bert"); ok {
+		t.Fatal("unpinned region still visible")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := NewStore(1000)
+	if _, err := s.Pin("a", 800); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin("b", 300); err == nil {
+		t.Fatal("over-capacity pin succeeded")
+	}
+	if _, err := s.Pin("b", 200); err != nil {
+		t.Fatalf("exact-fit pin failed: %v", err)
+	}
+	if s.Capacity() != 1000 {
+		t.Fatalf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	s := NewStore(1000)
+	if _, err := s.Pin("m", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pin("m", 10); err == nil {
+		t.Fatal("duplicate pin succeeded")
+	}
+}
+
+func TestInvalidOperations(t *testing.T) {
+	s := NewStore(1000)
+	if _, err := s.Pin("z", 0); err == nil {
+		t.Fatal("zero pin succeeded")
+	}
+	if err := s.Unpin(nil); err == nil {
+		t.Fatal("nil unpin succeeded")
+	}
+	r, _ := s.Pin("x", 10)
+	if err := s.Unpin(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unpin(r); err == nil {
+		t.Fatal("double unpin succeeded")
+	}
+	other := NewStore(100)
+	r2, _ := s.Pin("y", 10)
+	if err := other.Unpin(r2); err == nil {
+		t.Fatal("foreign unpin succeeded")
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStore(-1) did not panic")
+		}
+	}()
+	NewStore(-1)
+}

@@ -1,0 +1,159 @@
+// Package metrics provides the latency/goodput accounting the paper's
+// serving evaluation reports: percentile digests, SLO goodput, cold-start
+// ratios, and per-window time series (Figure 13–15).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deepplan/internal/sim"
+)
+
+// Digest collects latency samples and answers percentile queries exactly
+// (samples are retained; serving runs produce at most a few million).
+type Digest struct {
+	samples []float64 // seconds
+	sorted  bool
+}
+
+// Add records one latency sample.
+func (d *Digest) Add(v sim.Duration) {
+	d.samples = append(d.samples, v.Seconds())
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Digest) Count() int { return len(d.samples) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the
+// nearest-rank method, or 0 with no samples.
+func (d *Digest) Quantile(q float64) sim.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return secs(d.samples[0])
+	}
+	if q >= 1 {
+		return secs(d.samples[len(d.samples)-1])
+	}
+	rank := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return secs(d.samples[rank])
+}
+
+// P99 is Quantile(0.99), the paper's headline tail metric.
+func (d *Digest) P99() sim.Duration { return d.Quantile(0.99) }
+
+// P50 is the median.
+func (d *Digest) P50() sim.Duration { return d.Quantile(0.50) }
+
+// Mean returns the average latency.
+func (d *Digest) Mean() sim.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return secs(sum / float64(len(d.samples)))
+}
+
+// Max returns the largest sample.
+func (d *Digest) Max() sim.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if d.sorted {
+		return secs(d.samples[len(d.samples)-1])
+	}
+	max := d.samples[0]
+	for _, v := range d.samples[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return secs(max)
+}
+
+// GoodputRate returns the fraction of samples within the SLO.
+func (d *Digest) GoodputRate(slo sim.Duration) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	bound := slo.Seconds()
+	n := 0
+	for _, v := range d.samples {
+		if v <= bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.samples))
+}
+
+// secs converts float seconds back to a Duration, rounding to the nearest
+// nanosecond (plain truncation loses 1 ns on values like 31578.999...).
+func secs(s float64) sim.Duration { return sim.Duration(math.Round(s * 1e9)) }
+
+// WindowStat is one time bucket of a Series.
+type WindowStat struct {
+	Start      sim.Time
+	Requests   int
+	ColdStarts int
+	P99        sim.Duration
+	Goodput    float64
+}
+
+// Series buckets request records into fixed windows (the paper uses
+// per-minute buckets over the 3-hour trace in Figure 15).
+type Series struct {
+	window  sim.Duration
+	slo     sim.Duration
+	digests []*Digest
+	colds   []int
+}
+
+// NewSeries returns a Series with the given bucket width and SLO.
+func NewSeries(window, slo sim.Duration) *Series {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: window must be positive, got %v", window))
+	}
+	return &Series{window: window, slo: slo}
+}
+
+// Record adds one request observation at the given arrival instant.
+func (s *Series) Record(at sim.Time, latency sim.Duration, cold bool) {
+	idx := int(at / sim.Time(s.window))
+	for len(s.digests) <= idx {
+		s.digests = append(s.digests, &Digest{})
+		s.colds = append(s.colds, 0)
+	}
+	s.digests[idx].Add(latency)
+	if cold {
+		s.colds[idx]++
+	}
+}
+
+// Stats returns the per-window summary, in time order.
+func (s *Series) Stats() []WindowStat {
+	out := make([]WindowStat, len(s.digests))
+	for i, d := range s.digests {
+		out[i] = WindowStat{
+			Start:      sim.Time(i) * sim.Time(s.window),
+			Requests:   d.Count(),
+			ColdStarts: s.colds[i],
+			P99:        d.P99(),
+			Goodput:    d.GoodputRate(s.slo),
+		}
+	}
+	return out
+}

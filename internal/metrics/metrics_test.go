@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"deepplan/internal/sim"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.Count() != 0 || d.P99() != 0 || d.Mean() != 0 || d.Max() != 0 {
+		t.Fatal("empty digest not all-zero")
+	}
+	if d.GoodputRate(sim.Second) != 0 {
+		t.Fatal("empty goodput not 0")
+	}
+}
+
+func TestDigestBasics(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 100; i++ {
+		d.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	if d.Count() != 100 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if got := d.P50(); got != 50*sim.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", got)
+	}
+	if got := d.P99(); got != 99*sim.Millisecond {
+		t.Errorf("P99 = %v, want 99ms", got)
+	}
+	if got := d.Max(); got != 100*sim.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	if got := d.Mean(); got != 50500*sim.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", got)
+	}
+	if got := d.GoodputRate(75 * sim.Millisecond); got != 0.75 {
+		t.Errorf("Goodput(75ms) = %v, want 0.75", got)
+	}
+	if d.Quantile(0) != sim.Millisecond {
+		t.Errorf("Quantile(0) = %v", d.Quantile(0))
+	}
+	if d.Quantile(1) != 100*sim.Millisecond {
+		t.Errorf("Quantile(1) = %v", d.Quantile(1))
+	}
+}
+
+func TestDigestMaxBeforeSort(t *testing.T) {
+	var d Digest
+	d.Add(5 * sim.Millisecond)
+	d.Add(9 * sim.Millisecond)
+	d.Add(2 * sim.Millisecond)
+	if d.Max() != 9*sim.Millisecond {
+		t.Fatalf("Max = %v", d.Max())
+	}
+}
+
+func TestAddAfterQuantileKeepsCorrectness(t *testing.T) {
+	var d Digest
+	d.Add(10 * sim.Millisecond)
+	_ = d.P50()
+	d.Add(1 * sim.Millisecond)
+	if d.P50() != 1*sim.Millisecond {
+		t.Fatalf("P50 after re-add = %v", d.P50())
+	}
+}
+
+// Property: nearest-rank quantile equals direct computation on the sorted
+// sample for random inputs.
+func TestPropertyQuantileMatchesSort(t *testing.T) {
+	f := func(raw []uint32, qSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Digest
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			v := sim.Duration(r % 1_000_000)
+			d.Add(v)
+			vals[i] = v.Seconds()
+		}
+		sort.Float64s(vals)
+		q := float64(qSeed%101) / 100
+		got := d.Quantile(q).Seconds()
+		var want float64
+		switch {
+		case q <= 0:
+			want = vals[0]
+		case q >= 1:
+			want = vals[len(vals)-1]
+		default:
+			rank := int(float64(len(vals))*q+0.9999999) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if rank >= len(vals) {
+				rank = len(vals) - 1
+			}
+			want = vals[rank]
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGoodputMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var d Digest
+	for i := 0; i < 500; i++ {
+		d.Add(sim.Duration(rng.Intn(1_000_000)))
+	}
+	prev := -1.0
+	for slo := sim.Duration(0); slo < 1_000_000; slo += 50_000 {
+		g := d.GoodputRate(slo)
+		if g < prev {
+			t.Fatalf("goodput not monotone in SLO at %v", slo)
+		}
+		prev = g
+	}
+	if d.GoodputRate(sim.Second) != 1 {
+		t.Fatal("goodput at huge SLO != 1")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(sim.Second*60, 100*sim.Millisecond)
+	s.Record(sim.Time(10*sim.Second), 50*sim.Millisecond, false)
+	s.Record(sim.Time(30*sim.Second), 200*sim.Millisecond, true)
+	s.Record(sim.Time(70*sim.Second), 80*sim.Millisecond, false)
+	stats := s.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("windows = %d, want 2", len(stats))
+	}
+	w0 := stats[0]
+	if w0.Requests != 2 || w0.ColdStarts != 1 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if w0.Goodput != 0.5 {
+		t.Fatalf("window 0 goodput = %v", w0.Goodput)
+	}
+	if w0.P99 != 200*sim.Millisecond {
+		t.Fatalf("window 0 p99 = %v", w0.P99)
+	}
+	if stats[1].Start != sim.Time(60*sim.Second) {
+		t.Fatalf("window 1 start = %v", stats[1].Start)
+	}
+}
+
+func TestSeriesBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window did not panic")
+		}
+	}()
+	NewSeries(0, sim.Second)
+}

@@ -1,0 +1,42 @@
+package pcm
+
+import "testing"
+
+func TestEvents(t *testing.T) {
+	cases := []struct {
+		bytes float64
+		want  uint64
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2},
+		{93763584, 1465056}, // BERT-Base word embedding: paper's ~1,465,112
+	}
+	for _, c := range cases {
+		if got := Events(c.bytes); got != c.want {
+			t.Errorf("Events(%g) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.AddLoad(128)
+	c.AddLoad(64)
+	c.AddDHA(100)
+	c.AddNVLink(1000)
+	if c.LoadBytes() != 192 || c.DHABytes() != 100 || c.NVLinkBytes() != 1000 {
+		t.Fatalf("byte totals: %g %g %g", c.LoadBytes(), c.DHABytes(), c.NVLinkBytes())
+	}
+	if c.LoadEvents() != 3 {
+		t.Fatalf("LoadEvents = %d", c.LoadEvents())
+	}
+	if c.DHAEvents() != 2 {
+		t.Fatalf("DHAEvents = %d", c.DHAEvents())
+	}
+	if c.TotalPCIeEvents() != Events(292) {
+		t.Fatalf("TotalPCIeEvents = %d", c.TotalPCIeEvents())
+	}
+	c.Reset()
+	if c.LoadBytes() != 0 || c.TotalPCIeEvents() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"testing"
+
+	"deepplan/internal/dnn"
+)
+
+func TestAllLoad(t *testing.T) {
+	m, _ := dnn.ByName("bert-base")
+	p := AllLoad(m, "pipeswitch", 1)
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if p.CountDHA() != 0 {
+		t.Fatalf("CountDHA = %d", p.CountDHA())
+	}
+	if p.ResidentBytes(m) != m.TotalParamBytes() {
+		t.Fatal("ResidentBytes != total for all-load plan")
+	}
+	if p.HostResidentBytes(m) != 0 {
+		t.Fatal("HostResidentBytes != 0 for all-load plan")
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	m, _ := dnn.ByName("bert-base")
+
+	p := AllLoad(m, "x", 1)
+	p.NumParts = 0
+	if p.Validate(m) == nil {
+		t.Error("zero partitions accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	p.Layers = p.Layers[:len(p.Layers)-1]
+	if p.Validate(m) == nil {
+		t.Error("short plan accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	// Find a parameterless layer and mark it DHA.
+	for i := range m.Layers {
+		if !m.Layers[i].HasParams() {
+			p.Layers[i].Method = DHA
+			break
+		}
+	}
+	if p.Validate(m) == nil {
+		t.Error("DHA on parameterless layer accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	p.NumParts = 2
+	p.Layers[len(p.Layers)-1].Partition = 1
+	// Mark a params layer in partition 1 as DHA.
+	p.Layers[len(p.Layers)-1].Method = DHA
+	if m.Layers[len(m.Layers)-1].HasParams() && p.Validate(m) == nil {
+		t.Error("DHA outside partition 0 accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	p.NumParts = 2
+	p.Layers[0].Partition = 1
+	if p.Validate(m) == nil {
+		t.Error("nonmonotonic partitions accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	p.Layers[3].Index = 99
+	if p.Validate(m) == nil {
+		t.Error("misindexed plan accepted")
+	}
+
+	p = AllLoad(m, "x", 1)
+	p.Layers[0].Partition = -1
+	if p.Validate(m) == nil {
+		t.Error("negative partition accepted")
+	}
+}
+
+func TestResidentBytesSplit(t *testing.T) {
+	m, _ := dnn.ByName("bert-base")
+	p := AllLoad(m, "dha", 1)
+	var dhaBytes int64
+	for i := range m.Layers {
+		if m.Layers[i].Kind == dnn.Embedding {
+			p.Layers[i].Method = DHA
+			dhaBytes += m.Layers[i].ParamBytes
+		}
+	}
+	if p.HostResidentBytes(m) != dhaBytes {
+		t.Fatalf("HostResidentBytes = %d, want %d", p.HostResidentBytes(m), dhaBytes)
+	}
+	if p.ResidentBytes(m)+p.HostResidentBytes(m) != m.TotalParamBytes() {
+		t.Fatal("resident + host != total")
+	}
+}
+
+func TestPartitionLayers(t *testing.T) {
+	m, _ := dnn.ByName("resnet50")
+	p := AllLoad(m, "pt", 1)
+	p.NumParts = 2
+	half := len(p.Layers) / 2
+	for i := half; i < len(p.Layers); i++ {
+		p.Layers[i].Partition = 1
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	p0 := p.PartitionLayers(0)
+	p1 := p.PartitionLayers(1)
+	if len(p0) != half || len(p1) != len(p.Layers)-half {
+		t.Fatalf("partition sizes %d/%d", len(p0), len(p1))
+	}
+	if p1[0] != half {
+		t.Fatalf("partition 1 starts at %d, want %d", p1[0], half)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m, _ := dnn.ByName("gpt2")
+	p := AllLoad(m, "dha", 4)
+	p.Layers[0].Method = DHA
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ModelName != p.ModelName || q.Batch != 4 || q.Mode != "dha" {
+		t.Fatalf("round trip lost header: %+v", q)
+	}
+	if len(q.Layers) != len(p.Layers) || q.Layers[0].Method != DHA || q.Layers[1].Method != Load {
+		t.Fatal("round trip lost layer methods")
+	}
+	if err := q.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"layers":[{"method":"teleport"}]}`)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Load.String() != "load" || DHA.String() != "dha" {
+		t.Fatal("Method.String broken")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("out-of-range Method.String broken")
+	}
+}

@@ -1,0 +1,170 @@
+package profiler
+
+import (
+	"testing"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+)
+
+func run(t *testing.T, name string, opts Options) *Profile {
+	t.Helper()
+	m, err := dnn.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Run(m, costmodel.Default(), topology.P38xlarge(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileShape(t *testing.T) {
+	m, _ := dnn.ByName("bert-base")
+	p := run(t, "bert-base", Options{})
+	if len(p.Layers) != m.NumLayers() {
+		t.Fatalf("profile has %d rows for %d layers", len(p.Layers), m.NumLayers())
+	}
+	if p.Batch != 1 || p.Cost.Iterations != 10 {
+		t.Fatalf("defaults not applied: batch=%d iters=%d", p.Batch, p.Cost.Iterations)
+	}
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		if lp.Index != i {
+			t.Fatalf("row %d has index %d", i, lp.Index)
+		}
+		if lp.ExecInMem <= 0 {
+			t.Fatalf("row %s: nonpositive ExecInMem", lp.Name)
+		}
+		if lp.ParamBytes > 0 && lp.LoadTime <= 0 {
+			t.Fatalf("row %s: loadable layer with zero LoadTime", lp.Name)
+		}
+		if lp.ParamBytes == 0 {
+			if lp.LoadTime != 0 {
+				t.Fatalf("row %s: paramless layer with load time", lp.Name)
+			}
+			if lp.ExecDHA != lp.ExecInMem {
+				t.Fatalf("row %s: paramless ExecDHA != ExecInMem", lp.Name)
+			}
+		}
+	}
+}
+
+func TestProfileTotalsMatchAnchors(t *testing.T) {
+	p := run(t, "bert-base", Options{})
+	if ms := p.TotalExecInMem().Seconds() * 1e3; ms < 8.4 || ms > 10.3 {
+		t.Errorf("warm exec total = %0.2f ms, want ~9.35", ms)
+	}
+	if ms := p.TotalLoad().Seconds() * 1e3; ms < 38 || ms > 43 {
+		t.Errorf("load total = %0.2f ms, want ~40", ms)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if p.TotalParamBytes() != m.TotalParamBytes() {
+		t.Error("param byte totals disagree with the model")
+	}
+}
+
+func TestPerfDiffSigns(t *testing.T) {
+	p := run(t, "bert-base", Options{})
+	for i := range p.Layers {
+		lp := &p.Layers[i]
+		switch lp.Kind {
+		case dnn.Linear:
+			if lp.ParamBytes > 0 && lp.PerfDiff() <= 0 {
+				t.Errorf("%s: FC PerfDiff should be positive", lp.Name)
+			}
+		case dnn.Embedding:
+			// Even large embeddings pay a small positive PerfDiff (PCIe
+			// gather beats nothing); the win comes from eliminating load.
+			if lp.PerfDiff() > 2*sim.Millisecond {
+				t.Errorf("%s: embedding PerfDiff %v implausibly large", lp.Name, lp.PerfDiff())
+			}
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := run(t, "resnet50", Options{Noise: 0.05, Seed: 3})
+	b := run(t, "resnet50", Options{Noise: 0.05, Seed: 3})
+	for i := range a.Layers {
+		if a.Layers[i].ExecDHA != b.Layers[i].ExecDHA || a.Layers[i].LoadTime != b.Layers[i].LoadTime {
+			t.Fatalf("layer %d differs across identical seeds", i)
+		}
+	}
+	c := run(t, "resnet50", Options{Noise: 0.05, Seed: 4})
+	same := true
+	for i := range a.Layers {
+		if a.Layers[i].ExecDHA != c.Layers[i].ExecDHA {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noisy profiles")
+	}
+}
+
+func TestNoiseAveragesOut(t *testing.T) {
+	clean := run(t, "bert-base", Options{})
+	noisy := run(t, "bert-base", Options{Noise: 0.05, Seed: 1, Iterations: 50})
+	// Totals should agree within a few percent after averaging.
+	c := clean.TotalExecInMem().Seconds()
+	n := noisy.TotalExecInMem().Seconds()
+	if n < c*0.93 || n > c*1.07 {
+		t.Errorf("noisy total %g vs clean %g: averaging failed", n, c)
+	}
+}
+
+// Table 5: profiling cost ordering and magnitude. The paper reports
+// BERT-Base 12.40 s total, ResNet-50 3.92 s, RoBERTa-Large 75.87 s,
+// GPT-2 Medium 40.81 s with 10 iterations — DHA profiling dominates, and
+// bigger models cost more.
+func TestProfilingCostShape(t *testing.T) {
+	resnet := run(t, "resnet50", Options{})
+	bert := run(t, "bert-base", Options{})
+	robertaL := run(t, "roberta-large", Options{})
+	for _, p := range []*Profile{resnet, bert, robertaL} {
+		if p.Cost.DHA <= p.Cost.InMem {
+			t.Errorf("%s: DHA profiling (%v) should dominate in-mem (%v)",
+				p.ModelName, p.Cost.DHA, p.Cost.InMem)
+		}
+		if p.Cost.Total() != p.Cost.DHA+p.Cost.InMem+p.Cost.Load {
+			t.Errorf("%s: Total() inconsistent", p.ModelName)
+		}
+	}
+	if !(resnet.Cost.Total() < bert.Cost.Total() && bert.Cost.Total() < robertaL.Cost.Total()) {
+		t.Errorf("profiling cost ordering violated: %v < %v < %v",
+			resnet.Cost.Total(), bert.Cost.Total(), robertaL.Cost.Total())
+	}
+	// Magnitudes: seconds, not milliseconds or hours.
+	if s := bert.Cost.Total().Seconds(); s < 2 || s > 30 {
+		t.Errorf("BERT-Base profiling cost = %0.1f s, want O(10 s)", s)
+	}
+}
+
+func TestBatchOption(t *testing.T) {
+	b1 := run(t, "bert-base", Options{Batch: 1})
+	b8 := run(t, "bert-base", Options{Batch: 8})
+	if b8.TotalExecInMem() <= b1.TotalExecInMem() {
+		t.Fatal("batch 8 profile not slower than batch 1")
+	}
+	if b8.Batch != 8 {
+		t.Fatalf("Batch = %d", b8.Batch)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	m, _ := dnn.ByName("bert-base")
+	if _, err := Run(nil, costmodel.Default(), topology.P38xlarge(), Options{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Run(m, nil, topology.P38xlarge(), Options{}); err == nil {
+		t.Fatal("nil cost model accepted")
+	}
+	if _, err := Run(m, costmodel.Default(), nil, Options{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package serving
+
+import (
+	"testing"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+	"deepplan/internal/workload"
+)
+
+func batchServer(t *testing.T, maxBatch int) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		Topo: topology.P38xlarge(), Cost: costmodel.Default(),
+		Policy: PolicyDHA, SLO: 100 * sim.Millisecond, MaxBatch: maxBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := srv.Deploy(m, 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Warmup()
+	return srv
+}
+
+// burst produces n simultaneous requests to instance 0.
+func burst(n int) []workload.Request {
+	reqs := make([]workload.Request, n)
+	return reqs
+}
+
+func TestDynamicBatchingCoalesces(t *testing.T) {
+	srv := batchServer(t, 8)
+	rep, err := srv.Run(burst(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run 1 serves the first arrival solo; the other 8 coalesce into one
+	// batched run.
+	if rep.BatchedRuns != 1 || rep.BatchedRequests != 8 {
+		t.Fatalf("batched runs/requests = %d/%d, want 1/8", rep.BatchedRuns, rep.BatchedRequests)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicBatchingRespectsMaxBatch(t *testing.T) {
+	srv := batchServer(t, 4)
+	rep, err := srv.Run(burst(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 solo + backlog of 12 drained in 4+4+4.
+	if rep.BatchedRuns != 3 || rep.BatchedRequests != 12 {
+		t.Fatalf("batched runs/requests = %d/%d, want 3/12", rep.BatchedRuns, rep.BatchedRequests)
+	}
+}
+
+func TestBatchingImprovesBurstTail(t *testing.T) {
+	serial, err := batchServer(t, 1).Run(burst(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := batchServer(t, 8).Run(burst(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BatchedRuns != 0 {
+		t.Fatalf("MaxBatch=1 still batched %d runs", serial.BatchedRuns)
+	}
+	// Batch-8 execution amortizes kernel overheads, so the burst drains
+	// faster than 16 serial inferences.
+	if batched.Max >= serial.Max {
+		t.Fatalf("batched max %v not better than serial max %v", batched.Max, serial.Max)
+	}
+}
+
+func TestBatchingOffByDefault(t *testing.T) {
+	srv := newServer(t, PolicyPTDHA)
+	deployBERT(t, srv, 20)
+	srv.Warmup()
+	rep, err := srv.Run(workload.Poisson(5, 80, 500, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchedRuns != 0 {
+		t.Fatalf("default config batched %d runs", rep.BatchedRuns)
+	}
+}

@@ -1,0 +1,56 @@
+package serving
+
+import (
+	"testing"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/workload"
+)
+
+// Invariants must hold at rest, after warmup, and after heavy runs with
+// eviction churn, relocation, and PT fallbacks — under every policy.
+func TestInvariantsAcrossLifecycle(t *testing.T) {
+	for _, pol := range []Policy{PolicyBaseline, PolicyPipeSwitch, PolicyDHA, PolicyPTDHA} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			srv := newServer(t, pol)
+			deployBERT(t, srv, 140) // beyond capacity: forces churn
+			if err := srv.CheckInvariants(); err != nil {
+				t.Fatalf("fresh: %v", err)
+			}
+			srv.Warmup()
+			if err := srv.CheckInvariants(); err != nil {
+				t.Fatalf("after warmup: %v", err)
+			}
+			if _, err := srv.Run(workload.Poisson(11, 100, 800, 140)); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.CheckInvariants(); err != nil {
+				t.Fatalf("after run: %v", err)
+			}
+		})
+	}
+}
+
+func TestInvariantsWithMixedModels(t *testing.T) {
+	srv := newServer(t, PolicyPTDHA)
+	for _, d := range []struct {
+		name string
+		n    int
+	}{{"bert-base", 40}, {"roberta-base", 40}, {"gpt2", 10}, {"bert-large", 6}} {
+		m, err := dnn.ByName(d.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Deploy(m, d.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Warmup()
+	if _, err := srv.Run(workload.Poisson(13, 120, 1500, srv.NumInstances())); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,721 @@
+// Package serving implements the DL inference server of the paper's §5.3:
+// a multi-GPU server that packs more model instances than GPU memory can
+// hold, swaps inactive instances out to pinned host memory (LRU), and
+// handles cold-starts with one of the execution policies — PipeSwitch-style
+// pipelined loading, DeepPlan (DHA), or DeepPlan (PT+DHA).
+//
+// As in Clockwork (and the paper), each GPU executes one inference at a
+// time; requests to a warm instance queue on the GPU's execution stream.
+// A request to a cold instance triggers placement (evicting least-recently
+// used idle instances if needed) and is served by the cold-start run itself.
+// Under the DeepPlan policies, DHA-resident layers (e.g. embeddings) stay in
+// host memory permanently, shrinking the per-instance GPU footprint — which
+// is why DeepPlan packs more warm instances than PipeSwitch (Figure 13).
+package serving
+
+import (
+	"fmt"
+	"sort"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/engine"
+	"deepplan/internal/gpumem"
+	"deepplan/internal/hostmem"
+	"deepplan/internal/metrics"
+	"deepplan/internal/plan"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+	"deepplan/internal/topology"
+	"deepplan/internal/workload"
+)
+
+// Policy selects how instances are planned and cold-started.
+type Policy string
+
+// Available serving policies (the paper's evaluation legends).
+const (
+	PolicyBaseline   Policy = "baseline"
+	PolicyPipeSwitch Policy = "pipeswitch"
+	PolicyDHA        Policy = "dha"
+	PolicyPTDHA      Policy = "pt+dha"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Topo must be freshly constructed (links carry simulation state).
+	Topo   *topology.Topology
+	Cost   *costmodel.Params
+	Policy Policy
+	// SLO is the target latency; the paper uses 100 ms.
+	SLO sim.Duration
+	// ReservePerGPU is GPU memory withheld from instance packing (runtime,
+	// CUDA context, parallel-transmission staging). Default 1 GiB.
+	ReservePerGPU int64
+	// HostMemory is pinned-memory capacity. Default 244 GB (p3.8xlarge).
+	HostMemory int64
+	// Batch is the serving batch size. Default 1 (the paper's serving
+	// experiments do not batch; see §5.2 "Batching inference").
+	Batch int
+	// MaxBatch enables dynamic batching: requests arriving for an
+	// instance that is already executing coalesce, and when the running
+	// inference retires they are served together in one batched run of up
+	// to MaxBatch items. 0 or 1 disables coalescing (the paper's setting —
+	// batching delays latency-critical cold-starts, §5.2). Applies to warm
+	// inferences only.
+	MaxBatch int
+	// WindowWidth buckets the per-window series. Default 1 minute.
+	WindowWidth sim.Duration
+}
+
+// InstanceState is an instance's residency state.
+type InstanceState int
+
+// Instance lifecycle states.
+const (
+	Cold InstanceState = iota // weights only in host memory
+	Warm                      // resident on a GPU (possibly still loading)
+)
+
+// Instance is one deployed model replica, standing in for "a model
+// corresponding to a different user or service" (§5.3.1).
+type Instance struct {
+	ID    int
+	dep   *Deployment
+	state InstanceState
+	gpu   int
+	block *gpumem.Block
+	// loading is true while the cold-start run is in flight.
+	loading  bool
+	inflight int
+	lastUsed sim.Time
+	// backlog holds requests coalescing for the next dynamic batch.
+	backlog []workload.Request
+}
+
+// State returns the instance's residency state.
+func (in *Instance) State() InstanceState { return in.state }
+
+// GPU returns the instance's GPU, meaningful when Warm.
+func (in *Instance) GPU() int { return in.gpu }
+
+// Model returns the instance's model name.
+func (in *Instance) Model() string { return in.dep.Model.Name }
+
+// Deployment is a model prepared for serving: profiled once, planned once
+// (the paper's one-time pre-run), weights pinned in host memory.
+type Deployment struct {
+	Model   *dnn.Model
+	Profile *profiler.Profile
+	Plan    *plan.Plan
+	// Fallback is the single-GPU plan used when every transmission partner
+	// is already busy loading. A parallel-transmission cold-start occupies
+	// two GPUs' copy engines; issuing one while the partner is mid-load
+	// convoys every later cold behind the forwarding copies. The paper
+	// does not statically assign GPUs either (§4.3); degrading to DHA-only
+	// under load keeps cold bursts from cascading. Nil when Plan is
+	// already single-GPU.
+	Fallback *plan.Plan
+	// Footprint is the GPU bytes an instance occupies: plan-resident
+	// parameters plus workspace. DHA layers do not count.
+	Footprint int64
+}
+
+type gpuState struct {
+	id             int
+	mem            *gpumem.Allocator
+	residents      map[*Instance]bool
+	queued         int // outstanding inference runs
+	activeColds    int
+	secondaryColds int
+}
+
+type waiting struct {
+	inst *Instance
+	req  workload.Request
+}
+
+// Server is the simulated inference server.
+type Server struct {
+	cfg  Config
+	sim  *sim.Simulator
+	net  *simnet.Network
+	eng  *engine.Engine
+	pl   *planner.Planner
+	host *hostmem.Store
+
+	gpus        []*gpuState
+	deployments map[string]*Deployment
+	instances   []*Instance
+
+	digest          metrics.Digest
+	series          *metrics.Series
+	coldStarts      int
+	ptFallbacks     int
+	relocations     int
+	evictions       int
+	batchedRuns     int
+	batchedRequests int
+	deferred        int // requests that had to wait for memory
+	waitlist        []waiting
+	completed       int
+}
+
+// New builds a Server. The topology must not be shared with another
+// simulation.
+func New(cfg Config) (*Server, error) {
+	if cfg.Topo == nil || cfg.Cost == nil {
+		return nil, fmt.Errorf("serving: config needs Topo and Cost")
+	}
+	switch cfg.Policy {
+	case PolicyBaseline, PolicyPipeSwitch, PolicyDHA, PolicyPTDHA:
+	default:
+		return nil, fmt.Errorf("serving: unknown policy %q", cfg.Policy)
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 100 * sim.Millisecond
+	}
+	if cfg.ReservePerGPU <= 0 {
+		cfg.ReservePerGPU = 1 << 30
+	}
+	if cfg.HostMemory <= 0 {
+		cfg.HostMemory = 244e9
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	if cfg.WindowWidth <= 0 {
+		cfg.WindowWidth = sim.Second * 60
+	}
+	s := sim.New()
+	net := simnet.New(s)
+	srv := &Server{
+		cfg:         cfg,
+		sim:         s,
+		net:         net,
+		eng:         engine.New(engine.Config{Sim: s, Net: net, Topo: cfg.Topo, Cost: cfg.Cost}),
+		pl:          planner.New(cfg.Topo),
+		host:        hostmem.NewStore(cfg.HostMemory),
+		deployments: map[string]*Deployment{},
+		series:      metrics.NewSeries(cfg.WindowWidth, cfg.SLO),
+	}
+	for _, g := range cfg.Topo.GPUs {
+		usable := g.MemoryBytes - cfg.ReservePerGPU
+		if usable <= 0 {
+			return nil, fmt.Errorf("serving: GPU %d has no usable memory after reserve", g.ID)
+		}
+		srv.gpus = append(srv.gpus, &gpuState{
+			id:        g.ID,
+			mem:       gpumem.New(usable),
+			residents: map[*Instance]bool{},
+		})
+	}
+	return srv, nil
+}
+
+// Deploy profiles and plans a model under the server's policy (a one-time
+// pre-run, §4.3.1), pins its weights, and registers count instances.
+// It may be called multiple times with different models.
+func (srv *Server) Deploy(model *dnn.Model, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("serving: instance count must be positive")
+	}
+	dep, ok := srv.deployments[model.Name]
+	if !ok {
+		prof, err := profiler.Run(model, srv.cfg.Cost, srv.cfg.Topo, profiler.Options{Batch: srv.cfg.Batch})
+		if err != nil {
+			return err
+		}
+		var p, fb *plan.Plan
+		switch srv.cfg.Policy {
+		case PolicyBaseline:
+			p = srv.pl.PlanBaseline(prof)
+		case PolicyPipeSwitch:
+			p = srv.pl.PlanPipeSwitch(prof)
+		case PolicyDHA:
+			p = srv.pl.PlanDHA(prof)
+		case PolicyPTDHA:
+			p = srv.pl.PlanPTDHA(prof, srv.pl.MaxPartitions())
+			if p.NumParts > 1 {
+				fb = p.SingleGPU()
+			}
+		}
+		dep = &Deployment{
+			Model:     model,
+			Profile:   prof,
+			Plan:      p,
+			Fallback:  fb,
+			Footprint: p.ResidentBytes(model) + srv.cfg.Cost.Workspace(model, srv.cfg.Batch),
+		}
+		srv.deployments[model.Name] = dep
+	}
+	for i := 0; i < count; i++ {
+		id := len(srv.instances)
+		if _, err := srv.host.Pin(fmt.Sprintf("%s/instance-%d", model.Name, id),
+			model.TotalParamBytes()); err != nil {
+			return fmt.Errorf("serving: %w", err)
+		}
+		srv.instances = append(srv.instances, &Instance{ID: id, dep: dep, state: Cold})
+	}
+	return nil
+}
+
+// NumInstances returns the number of deployed instances.
+func (srv *Server) NumInstances() int { return len(srv.instances) }
+
+// Instances exposes the instance table (read-only use).
+func (srv *Server) Instances() []*Instance { return srv.instances }
+
+// Warmup places instances round-robin across GPUs until memory is full (no
+// eviction), mirroring the paper's warm-up phase before measurement. It
+// returns the number of instances made warm.
+func (srv *Server) Warmup() int {
+	warm := 0
+	g := 0
+	for _, inst := range srv.instances {
+		placed := false
+		for try := 0; try < len(srv.gpus); try++ {
+			gs := srv.gpus[(g+try)%len(srv.gpus)]
+			if blk, err := gs.mem.Alloc(inst.dep.Footprint, inst.dep.Model.Name); err == nil {
+				inst.state = Warm
+				inst.gpu = gs.id
+				inst.block = blk
+				gs.residents[inst] = true
+				placed = true
+				g = (g + try + 1) % len(srv.gpus)
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+		warm++
+	}
+	return warm
+}
+
+// WarmCapacity returns how many of the deployed instances could be warm
+// simultaneously on empty GPUs — the packing limit that determines when
+// cold-starts begin (the paper's "100 instances for PipeSwitch, 124 for
+// DeepPlan" comparison). It does not mutate server state.
+func (srv *Server) WarmCapacity() int {
+	free := make([]int64, len(srv.gpus))
+	for i, g := range srv.gpus {
+		free[i] = g.mem.Capacity()
+	}
+	n := 0
+	for _, inst := range srv.instances {
+		placed := false
+		for i := range free {
+			if free[i] >= inst.dep.Footprint {
+				free[i] -= inst.dep.Footprint
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Run replays the request sequence to completion and returns the report.
+func (srv *Server) Run(requests []workload.Request) (*Report, error) {
+	for _, r := range requests {
+		if r.Instance < 0 || r.Instance >= len(srv.instances) {
+			return nil, fmt.Errorf("serving: request for unknown instance %d", r.Instance)
+		}
+		req := r
+		srv.sim.At(req.At, func() { srv.handle(req) })
+	}
+	srv.sim.Run()
+	if srv.completed != len(requests) {
+		return nil, fmt.Errorf("serving: %d of %d requests completed", srv.completed, len(requests))
+	}
+	return srv.report(len(requests)), nil
+}
+
+// handle routes one arrival.
+func (srv *Server) handle(req workload.Request) {
+	inst := srv.instances[req.Instance]
+	inst.lastUsed = srv.sim.Now()
+	if inst.state == Warm && srv.shouldRelocate(inst) {
+		// The instance's GPU is congested while another is nearly idle:
+		// relocating via a cold start on the cool GPU costs tens of
+		// milliseconds once but sheds seconds of queueing. This mirrors
+		// how serving controllers (e.g. Clockwork's) shift models between
+		// GPUs under skewed load.
+		srv.evict(inst)
+		srv.relocations++
+	}
+	if inst.state == Warm {
+		srv.startWarm(inst, req)
+		return
+	}
+	if !srv.place(inst) {
+		// No memory can be freed right now (every resident instance is
+		// busy); park the request until a run completes.
+		srv.deferred++
+		srv.waitlist = append(srv.waitlist, waiting{inst, req})
+		return
+	}
+	srv.startCold(inst, req)
+}
+
+// shouldRelocate reports whether a warm, idle instance should abandon its
+// congested GPU for a markedly cooler one.
+func (srv *Server) shouldRelocate(inst *Instance) bool {
+	if inst.loading || inst.inflight > 0 {
+		return false
+	}
+	cur := srv.gpus[inst.gpu].queued
+	if cur < 4 {
+		return false
+	}
+	min := cur
+	for _, g := range srv.gpus {
+		if g.queued < min {
+			min = g.queued
+		}
+	}
+	return min <= cur/4
+}
+
+// place finds a GPU for a cold instance, evicting LRU idle instances as
+// needed. Reports success.
+func (srv *Server) place(inst *Instance) bool {
+	need := inst.dep.Footprint
+	// Prefer the GPU with the shortest queue, then the most free memory.
+	order := make([]*gpuState, len(srv.gpus))
+	copy(order, srv.gpus)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].queued != order[j].queued {
+			return order[i].queued < order[j].queued
+		}
+		return order[i].mem.Available() > order[j].mem.Available()
+	})
+	for _, gs := range order {
+		if srv.makeRoom(gs, need) {
+			blk, err := gs.mem.Alloc(need, inst.dep.Model.Name)
+			if err != nil {
+				continue // fragmentation raced us; try next GPU
+			}
+			inst.state = Warm
+			inst.loading = true
+			inst.gpu = gs.id
+			inst.block = blk
+			gs.residents[inst] = true
+			return true
+		}
+	}
+	return false
+}
+
+// makeRoom evicts LRU idle residents of gs until need bytes fit.
+func (srv *Server) makeRoom(gs *gpuState, need int64) bool {
+	for !gs.mem.Fits(need) {
+		victim := srv.lruIdle(gs)
+		if victim == nil {
+			return false
+		}
+		srv.evict(victim)
+	}
+	return true
+}
+
+func (srv *Server) lruIdle(gs *gpuState) *Instance {
+	var victim *Instance
+	for inst := range gs.residents {
+		if inst.inflight > 0 || inst.loading {
+			continue
+		}
+		if victim == nil || inst.lastUsed < victim.lastUsed ||
+			(inst.lastUsed == victim.lastUsed && inst.ID < victim.ID) {
+			victim = inst
+		}
+	}
+	return victim
+}
+
+// evict drops an idle instance's GPU residency. Host weights stay pinned, so
+// eviction is free (metadata only) — the point of keeping everything pinned.
+func (srv *Server) evict(inst *Instance) {
+	gs := srv.gpus[inst.gpu]
+	if err := gs.mem.Free(inst.block); err != nil {
+		panic("serving: eviction accounting bug: " + err.Error())
+	}
+	delete(gs.residents, inst)
+	inst.state = Cold
+	inst.block = nil
+	srv.evictions++
+}
+
+// startCold launches the cold-start run that also serves the request.
+func (srv *Server) startCold(inst *Instance, req workload.Request) {
+	srv.coldStarts++
+	gs := srv.gpus[inst.gpu]
+	gs.queued++
+	gs.activeColds++
+	inst.inflight++
+
+	coldPlan := inst.dep.Plan
+	var secondaries []int
+	var secondary *gpuState
+	if coldPlan.NumParts > 1 {
+		secondary = srv.pickSecondary(inst.gpu)
+		if secondary.activeColds+secondary.secondaryColds > 0 && inst.dep.Fallback != nil {
+			// Every transmission partner is mid-load: degrade to the
+			// single-GPU variant instead of convoying behind its copies.
+			secondary = nil
+			coldPlan = inst.dep.Fallback
+			srv.ptFallbacks++
+		} else {
+			secondaries = []int{secondary.id}
+			secondary.secondaryColds++
+		}
+	}
+	spec := engine.Spec{
+		Model:       inst.dep.Model,
+		Plan:        coldPlan,
+		Batch:       srv.cfg.Batch,
+		Primary:     inst.gpu,
+		Secondaries: secondaries,
+		OnDone: func(res *engine.Result) {
+			inst.loading = false
+			inst.inflight--
+			gs.queued--
+			gs.activeColds--
+			if secondary != nil {
+				secondary.secondaryColds--
+			}
+			srv.record(req, res, true)
+			srv.drainWaitlist()
+		},
+	}
+	if err := srv.eng.Start(spec); err != nil {
+		panic("serving: cold start rejected: " + err.Error())
+	}
+}
+
+// startWarm queues a warm inference on the instance's GPU. If the instance
+// is still loading, the run naturally queues behind the cold-start on the
+// execution stream. With dynamic batching enabled, requests arriving while
+// the instance is busy coalesce into its backlog instead.
+func (srv *Server) startWarm(inst *Instance, req workload.Request) {
+	if srv.cfg.MaxBatch > 1 && inst.inflight > 0 {
+		inst.backlog = append(inst.backlog, req)
+		return
+	}
+	srv.startWarmBatch(inst, []workload.Request{req})
+}
+
+// startWarmBatch issues one (possibly batched) warm inference.
+func (srv *Server) startWarmBatch(inst *Instance, reqs []workload.Request) {
+	gs := srv.gpus[inst.gpu]
+	gs.queued++
+	inst.inflight++
+	if len(reqs) > 1 {
+		srv.batchedRuns++
+		srv.batchedRequests += len(reqs)
+	}
+	spec := engine.Spec{
+		Model:   inst.dep.Model,
+		Plan:    inst.dep.Plan,
+		Batch:   srv.cfg.Batch * len(reqs),
+		Primary: inst.gpu,
+		Warm:    true,
+		OnDone: func(res *engine.Result) {
+			inst.inflight--
+			gs.queued--
+			for _, r := range reqs {
+				srv.record(r, res, false)
+			}
+			srv.releaseBacklog(inst)
+			srv.drainWaitlist()
+		},
+	}
+	if err := srv.eng.Start(spec); err != nil {
+		panic("serving: warm start rejected: " + err.Error())
+	}
+}
+
+// releaseBacklog launches the next dynamic batch, if any requests coalesced
+// while the instance was busy.
+func (srv *Server) releaseBacklog(inst *Instance) {
+	if len(inst.backlog) == 0 || inst.state != Warm {
+		return
+	}
+	n := len(inst.backlog)
+	if n > srv.cfg.MaxBatch {
+		n = srv.cfg.MaxBatch
+	}
+	batch := inst.backlog[:n:n]
+	inst.backlog = inst.backlog[n:]
+	srv.startWarmBatch(inst, batch)
+}
+
+// pickSecondary chooses the least-busy parallel-transmission partner.
+func (srv *Server) pickSecondary(primary int) *gpuState {
+	partners := srv.cfg.Topo.ParallelPartners(primary)
+	if len(partners) == 0 {
+		panic(fmt.Sprintf("serving: PT plan on GPU %d without partners", primary))
+	}
+	best := srv.gpus[partners[0]]
+	for _, id := range partners[1:] {
+		g := srv.gpus[id]
+		if g.activeColds+g.secondaryColds < best.activeColds+best.secondaryColds {
+			best = g
+		}
+	}
+	return best
+}
+
+func (srv *Server) record(req workload.Request, res *engine.Result, cold bool) {
+	lat := res.Finish.Sub(req.At)
+	srv.digest.Add(lat)
+	srv.series.Record(req.At, lat, cold)
+	srv.completed++
+}
+
+// drainWaitlist retries parked requests after a completion freed capacity.
+func (srv *Server) drainWaitlist() {
+	if len(srv.waitlist) == 0 {
+		return
+	}
+	pending := srv.waitlist
+	srv.waitlist = nil
+	for _, w := range pending {
+		if w.inst.state == Warm {
+			srv.startWarm(w.inst, w.req)
+			continue
+		}
+		if srv.place(w.inst) {
+			srv.startCold(w.inst, w.req)
+		} else {
+			srv.waitlist = append(srv.waitlist, w)
+		}
+	}
+}
+
+// CheckInvariants validates the server's internal consistency; tests call
+// it after runs. It verifies residency/allocator agreement, quiesced
+// counters, and host-memory accounting.
+func (srv *Server) CheckInvariants() error {
+	var pinned int64
+	for _, inst := range srv.instances {
+		pinned += inst.dep.Model.TotalParamBytes()
+		switch inst.state {
+		case Warm:
+			if inst.block == nil {
+				return fmt.Errorf("serving: warm instance %d without a block", inst.ID)
+			}
+			if !srv.gpus[inst.gpu].residents[inst] {
+				return fmt.Errorf("serving: warm instance %d not in GPU %d residents", inst.ID, inst.gpu)
+			}
+			if inst.block.Size() != inst.dep.Footprint {
+				return fmt.Errorf("serving: instance %d block %d != footprint %d",
+					inst.ID, inst.block.Size(), inst.dep.Footprint)
+			}
+		case Cold:
+			if inst.block != nil {
+				return fmt.Errorf("serving: cold instance %d holds a block", inst.ID)
+			}
+			if inst.loading {
+				return fmt.Errorf("serving: cold instance %d marked loading", inst.ID)
+			}
+		}
+	}
+	if pinned != srv.host.Pinned() {
+		return fmt.Errorf("serving: host store pinned %d != instance total %d",
+			srv.host.Pinned(), pinned)
+	}
+	for _, gs := range srv.gpus {
+		var used int64
+		for inst := range gs.residents {
+			if inst.gpu != gs.id || inst.state != Warm {
+				return fmt.Errorf("serving: residents map of GPU %d holds stray instance %d", gs.id, inst.ID)
+			}
+			used += inst.dep.Footprint
+		}
+		if used != gs.mem.Used() {
+			return fmt.Errorf("serving: GPU %d allocator used %d != resident sum %d",
+				gs.id, gs.mem.Used(), used)
+		}
+		if err := gs.mem.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if srv.sim.Pending() == 0 {
+		// Quiesced: no in-flight work may remain.
+		for _, gs := range srv.gpus {
+			if gs.queued != 0 || gs.activeColds != 0 || gs.secondaryColds != 0 {
+				return fmt.Errorf("serving: GPU %d counters not quiesced (%d/%d/%d)",
+					gs.id, gs.queued, gs.activeColds, gs.secondaryColds)
+			}
+		}
+		for _, inst := range srv.instances {
+			if inst.inflight != 0 || inst.loading {
+				return fmt.Errorf("serving: instance %d not quiesced", inst.ID)
+			}
+			if len(inst.backlog) != 0 {
+				return fmt.Errorf("serving: instance %d left %d requests in its batch backlog",
+					inst.ID, len(inst.backlog))
+			}
+		}
+		if len(srv.waitlist) != 0 {
+			return fmt.Errorf("serving: %d requests stuck on the waitlist", len(srv.waitlist))
+		}
+	}
+	return nil
+}
+
+// Report summarizes a serving run (the quantities in Figures 13–15).
+type Report struct {
+	Policy        Policy
+	Requests      int
+	P50, P99, Max sim.Duration
+	Mean          sim.Duration
+	Goodput       float64 // fraction of requests within the SLO
+	ColdStarts    int
+	ColdStartRate float64
+	// PTFallbacks counts cold-starts that degraded to the single-GPU plan
+	// because no transmission partner was free.
+	PTFallbacks int
+	// Relocations counts warm instances that moved to a cooler GPU.
+	Relocations int
+	// BatchedRuns / BatchedRequests account dynamic batching (MaxBatch>1):
+	// how many multi-request runs were issued and how many requests they
+	// carried.
+	BatchedRuns     int
+	BatchedRequests int
+	Evictions       int
+	Deferred        int
+	WarmCapacity    int
+	PerWindow       []metrics.WindowStat
+}
+
+func (srv *Server) report(n int) *Report {
+	return &Report{
+		Policy:          srv.cfg.Policy,
+		Requests:        n,
+		P50:             srv.digest.P50(),
+		P99:             srv.digest.P99(),
+		Max:             srv.digest.Max(),
+		Mean:            srv.digest.Mean(),
+		Goodput:         srv.digest.GoodputRate(srv.cfg.SLO),
+		ColdStarts:      srv.coldStarts,
+		ColdStartRate:   float64(srv.coldStarts) / float64(n),
+		PTFallbacks:     srv.ptFallbacks,
+		Relocations:     srv.relocations,
+		BatchedRuns:     srv.batchedRuns,
+		BatchedRequests: srv.batchedRequests,
+		Evictions:       srv.evictions,
+		Deferred:        srv.deferred,
+		WarmCapacity:    srv.WarmCapacity(),
+		PerWindow:       srv.series.Stats(),
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All hardware substrates in this repository (PCIe/NVLink transfers, GPU
+// streams, the serving system) are driven by a single Simulator instance.
+// Time is virtual: scheduling an event never blocks, and Run advances the
+// clock from event to event. Two events scheduled for the same instant fire
+// in submission order, which makes every simulation in this repository fully
+// deterministic and therefore testable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts directly
+// to and from time.Duration.
+type Duration = time.Duration
+
+// Common durations, re-exported for call-site brevity.
+const (
+	Nanosecond  = Duration(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns the instant as a float64 number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// Microseconds returns the instant as a float64 number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when not queued
+}
+
+// At returns the instant the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// New returns a Simulator with the clock at zero and no pending events.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// EventsFired returns the number of events executed so far. It is useful for
+// instrumentation and loop-bound assertions in tests.
+func (s *Simulator) EventsFired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting to fire.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics: it is
+// always a logic error in the layers above, and silently reordering time
+// would corrupt every timeline built on top of the simulator.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (s *Simulator) After(d Duration, fn func()) *Event {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.events, e.index)
+}
+
+// Step fires the earliest pending event and advances the clock to it.
+// It reports whether an event was fired.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.at
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+// Events scheduled for after t remain pending.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

@@ -1,0 +1,353 @@
+// Package simnet is a flow-level network simulator used to model the
+// PCIe and NVLink fabric of a multi-GPU server.
+//
+// The fabric is a set of Links, each with a fixed capacity in bytes per
+// second. A Flow moves a number of bytes across an ordered path of links.
+// While multiple flows share a link, bandwidth is divided by progressive
+// filling (max–min fairness), which is the standard first-order model for
+// PCIe arbitration: a root-port uplink shared by two switch downstream ports
+// splits evenly under load, and a flow limited elsewhere releases its share.
+//
+// The simulator is exact for piecewise-constant rates: whenever the set of
+// active flows changes, every flow's progress is advanced, rates are
+// recomputed, and the next completion is scheduled. This reproduces the
+// bandwidth-contention behaviour the paper measures in Table 2 (per-GPU PCIe
+// bandwidth collapsing from ~11 GB/s to ~6 GB/s when four GPUs load in
+// parallel through two shared switches).
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"deepplan/internal/sim"
+)
+
+// Link is a unidirectional channel with a fixed capacity.
+type Link struct {
+	name     string
+	capacity float64 // bytes per second
+
+	// instrumentation
+	bytesCarried float64
+	busySince    sim.Time
+	busyTime     sim.Duration
+	activeFlows  int
+}
+
+// NewLink returns a link with the given capacity in bytes per second.
+func NewLink(name string, bytesPerSecond float64) *Link {
+	if bytesPerSecond <= 0 {
+		panic(fmt.Sprintf("simnet: link %q capacity must be positive, got %g", name, bytesPerSecond))
+	}
+	return &Link{name: name, capacity: bytesPerSecond}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// BytesCarried returns the total bytes moved across the link so far.
+func (l *Link) BytesCarried() float64 { return l.bytesCarried }
+
+// BusyTime returns the total virtual time during which the link had at least
+// one active flow. BytesCarried/BusyTime.Seconds() is the achieved average
+// bandwidth, the quantity the paper reports in Table 2.
+func (l *Link) BusyTime() sim.Duration { return l.busyTime }
+
+// AverageBandwidth returns achieved bytes per second over the link's busy
+// time, or 0 if the link was never busy.
+func (l *Link) AverageBandwidth() float64 {
+	if l.busyTime <= 0 {
+		return 0
+	}
+	return l.bytesCarried / l.busyTime.Seconds()
+}
+
+// ResetStats clears the instrumentation counters. Active-flow accounting is
+// unaffected.
+func (l *Link) ResetStats() {
+	l.bytesCarried = 0
+	l.busyTime = 0
+}
+
+// Flow is an in-flight transfer across a path of links.
+type Flow struct {
+	name      string
+	path      []*Link
+	remaining float64
+	total     float64
+	rate      float64
+	started   sim.Time
+	onDone    func(at sim.Time)
+	net       *Network
+	done      bool
+}
+
+// Name returns the flow's diagnostic name.
+func (f *Flow) Name() string { return f.name }
+
+// Total returns the flow size in bytes.
+func (f *Flow) Total() float64 { return f.total }
+
+// Remaining returns the bytes not yet transferred, as of the last network
+// update. Call Network.Sync first for an up-to-the-instant value.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Rate returns the flow's current allocated rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done reports whether the flow has completed (or was aborted).
+func (f *Flow) Done() bool { return f.done }
+
+// Started returns the instant the flow was started.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Network manages flows over links, driven by a Simulator.
+type Network struct {
+	sim        *sim.Simulator
+	flows      []*Flow
+	lastUpdate sim.Time
+	completion *sim.Event
+}
+
+// New returns an empty Network driven by s.
+func New(s *sim.Simulator) *Network {
+	return &Network{sim: s, lastUpdate: s.Now()}
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// StartFlow begins transferring bytes across path. onDone, if non-nil, is
+// invoked (inside the simulator) when the last byte arrives. A flow with no
+// bytes or an empty path completes immediately, via a zero-delay event so
+// that callbacks still run in deterministic simulator order.
+func (n *Network) StartFlow(name string, path []*Link, bytes float64, onDone func(at sim.Time)) *Flow {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: flow %q has negative size %g", name, bytes))
+	}
+	f := &Flow{
+		name:      name,
+		path:      path,
+		remaining: bytes,
+		total:     bytes,
+		started:   n.sim.Now(),
+		onDone:    onDone,
+		net:       n,
+	}
+	if bytes == 0 || len(path) == 0 {
+		f.done = true
+		n.sim.After(0, func() {
+			if f.onDone != nil {
+				f.onDone(n.sim.Now())
+			}
+		})
+		return f
+	}
+	n.advance()
+	n.flows = append(n.flows, f)
+	for _, l := range f.path {
+		if l.activeFlows == 0 {
+			l.busySince = n.sim.Now()
+		}
+		l.activeFlows++
+	}
+	n.reallocate()
+	return f
+}
+
+// Abort cancels an in-flight flow without invoking its completion callback.
+// Aborting a finished flow is a no-op.
+func (n *Network) Abort(f *Flow) {
+	if f == nil || f.done {
+		return
+	}
+	n.advance()
+	n.remove(f)
+	n.reallocate()
+}
+
+// Sync advances all flow progress to the current instant without changing
+// rates. It is useful before inspecting Remaining.
+func (n *Network) Sync() { n.advance() }
+
+// advance credits each active flow with rate*(now-lastUpdate) bytes and
+// updates link instrumentation.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	dt := now.Sub(n.lastUpdate).Seconds()
+	n.lastUpdate = now
+	if dt <= 0 || len(n.flows) == 0 {
+		return
+	}
+	for _, f := range n.flows {
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, l := range f.path {
+			l.bytesCarried += moved
+		}
+	}
+	// Link busy-time accounting: all links with active flows were busy for dt.
+	seen := map[*Link]bool{}
+	for _, f := range n.flows {
+		for _, l := range f.path {
+			if !seen[l] {
+				seen[l] = true
+				l.busyTime += sim.Duration(dt * 1e9)
+			}
+		}
+	}
+}
+
+func (n *Network) remove(f *Flow) {
+	f.done = true
+	f.rate = 0
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			break
+		}
+	}
+	for _, l := range f.path {
+		l.activeFlows--
+	}
+}
+
+// reallocate recomputes max–min fair rates and schedules the next completion.
+func (n *Network) reallocate() {
+	if n.completion != nil {
+		n.sim.Cancel(n.completion)
+		n.completion = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	maxMinRates(n.flows)
+	// Next completion.
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		// All rates zero: cannot happen with positive capacities, but guard
+		// against it rather than hanging the simulation.
+		panic("simnet: no flow can make progress")
+	}
+	delay := sim.Duration(math.Ceil(next * 1e9))
+	n.completion = n.sim.After(delay, n.onCompletion)
+}
+
+// onCompletion fires when at least one flow should have finished.
+func (n *Network) onCompletion() {
+	n.completion = nil
+	n.advance()
+	var finished []*Flow
+	for _, f := range n.flows {
+		// Nanosecond rounding can leave a sliver; treat sub-byte remainders
+		// as complete.
+		if f.remaining < 1 {
+			finished = append(finished, f)
+		}
+	}
+	for _, f := range finished {
+		f.remaining = 0
+		n.remove(f)
+	}
+	n.reallocate()
+	for _, f := range finished {
+		if f.onDone != nil {
+			f.onDone(n.sim.Now())
+		}
+	}
+}
+
+// maxMinRates assigns progressive-filling (max–min fair) rates to flows.
+// Algorithm: repeatedly find the most constrained link (minimum residual
+// capacity per unassigned flow), freeze that fair share onto its unassigned
+// flows, subtract, and repeat until every flow has a rate.
+func maxMinRates(flows []*Flow) {
+	type linkState struct {
+		residual   float64
+		unassigned int
+	}
+	states := map[*Link]*linkState{}
+	for _, f := range flows {
+		f.rate = -1
+		for _, l := range f.path {
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.capacity}
+				states[l] = st
+			}
+			st.unassigned++
+		}
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Find the bottleneck: minimum fair share among links that still
+		// carry unassigned flows.
+		share := math.Inf(1)
+		for _, st := range states {
+			if st.unassigned == 0 {
+				continue
+			}
+			s := st.residual / float64(st.unassigned)
+			if s < share {
+				share = s
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("simnet: flows without links in rate allocation")
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Freeze every unassigned flow that crosses a link at the bottleneck
+		// share. A flow is frozen at the *minimum* share over its path, which
+		// at this point in progressive filling equals the global minimum for
+		// flows crossing a bottleneck link.
+		progress := false
+		for _, f := range flows {
+			if f.rate >= 0 {
+				continue
+			}
+			limited := false
+			for _, l := range f.path {
+				st := states[l]
+				if st.residual/float64(st.unassigned) <= share*(1+1e-12) {
+					limited = true
+					break
+				}
+			}
+			if !limited {
+				continue
+			}
+			f.rate = share
+			remaining--
+			progress = true
+			for _, l := range f.path {
+				st := states[l]
+				st.residual -= share
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.unassigned--
+			}
+		}
+		if !progress {
+			panic("simnet: max-min allocation made no progress")
+		}
+	}
+}

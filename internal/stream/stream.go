@@ -1,0 +1,155 @@
+// Package stream provides CUDA-like streams and events on top of the
+// discrete-event simulator.
+//
+// A Stream executes submitted tasks strictly in order; a task may complete
+// asynchronously (e.g. when a simnet flow finishes). Events reproduce the
+// cudaEventRecord / cudaStreamWaitEvent synchronization the paper's engine
+// uses to couple its load, migration, and execution streams (§4.3.4).
+package stream
+
+import (
+	"deepplan/internal/sim"
+)
+
+// Event is a one-shot synchronization point, analogous to a CUDA event.
+// It fires when a stream reaches the Record task that owns it.
+type Event struct {
+	fired   bool
+	firedAt sim.Time
+	waiters []func()
+}
+
+// NewEvent returns an unfired event.
+func NewEvent() *Event { return &Event{} }
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// FiredAt returns the instant the event fired; valid only if Fired.
+func (e *Event) FiredAt() sim.Time { return e.firedAt }
+
+// OnFire registers fn to run when the event fires. If the event already
+// fired, fn runs immediately.
+func (e *Event) OnFire(fn func()) {
+	if e.fired {
+		fn()
+		return
+	}
+	e.waiters = append(e.waiters, fn)
+}
+
+// Fire triggers the event manually at the given instant. Most events fire
+// via Stream.Record; manual firing supports dynamic dependencies such as
+// on-demand mixture-of-experts transfers, where the event's producer is not
+// known until execution reaches the router. Firing twice is a no-op.
+func (e *Event) Fire(at sim.Time) { e.fire(at) }
+
+func (e *Event) fire(at sim.Time) {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	e.firedAt = at
+	ws := e.waiters
+	e.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Task is a unit of in-order stream work. The task begins when the stream
+// reaches it and must call done exactly once (synchronously or later) to let
+// the stream advance.
+type Task func(done func())
+
+type queued struct {
+	name string
+	run  Task
+}
+
+// Stream executes tasks in FIFO order, one at a time.
+type Stream struct {
+	sim     *sim.Simulator
+	name    string
+	queue   []queued
+	running bool
+}
+
+// New returns an idle stream driven by s.
+func New(s *sim.Simulator, name string) *Stream {
+	return &Stream{sim: s, name: name}
+}
+
+// Name returns the stream's diagnostic name.
+func (st *Stream) Name() string { return st.name }
+
+// Idle reports whether the stream has no running or queued work.
+func (st *Stream) Idle() bool { return !st.running && len(st.queue) == 0 }
+
+// QueueLen returns the number of tasks waiting (not counting a running one).
+func (st *Stream) QueueLen() int { return len(st.queue) }
+
+// Submit enqueues a task.
+func (st *Stream) Submit(name string, run Task) {
+	st.queue = append(st.queue, queued{name: name, run: run})
+	if !st.running {
+		st.startNext()
+	}
+}
+
+func (st *Stream) startNext() {
+	if len(st.queue) == 0 {
+		st.running = false
+		return
+	}
+	st.running = true
+	next := st.queue[0]
+	st.queue = st.queue[1:]
+	completed := false
+	done := func() {
+		if completed {
+			panic("stream: task " + next.name + " on " + st.name + " completed twice")
+		}
+		completed = true
+		st.startNext()
+	}
+	next.run(done)
+}
+
+// Delay enqueues a task that occupies the stream for d of virtual time.
+// A non-positive d completes via a zero-delay event, preserving deterministic
+// ordering relative to other same-instant work.
+func (st *Stream) Delay(name string, d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	st.Submit(name, func(done func()) {
+		st.sim.After(d, done)
+	})
+}
+
+// Do enqueues an instantaneous task: fn runs when the stream reaches it.
+func (st *Stream) Do(name string, fn func()) {
+	st.Submit(name, func(done func()) {
+		fn()
+		done()
+	})
+}
+
+// Record enqueues a task that fires e when the stream reaches it,
+// mirroring cudaEventRecord.
+func (st *Stream) Record(e *Event) {
+	st.Submit("record", func(done func()) {
+		e.fire(st.sim.Now())
+		done()
+	})
+}
+
+// Wait enqueues a task that blocks the stream until e fires, mirroring
+// cudaStreamWaitEvent. If e already fired the stream passes through without
+// consuming time.
+func (st *Stream) Wait(e *Event) {
+	st.Submit("wait", func(done func()) {
+		e.OnFire(done)
+	})
+}

@@ -1,0 +1,177 @@
+package stream
+
+import (
+	"testing"
+
+	"deepplan/internal/sim"
+)
+
+func TestTasksRunInOrder(t *testing.T) {
+	s := sim.New()
+	st := New(s, "exec")
+	var got []int
+	st.Delay("a", 10*sim.Nanosecond)
+	st.Do("mark1", func() { got = append(got, 1) })
+	st.Delay("b", 10*sim.Nanosecond)
+	st.Do("mark2", func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("final time = %v, want 20ns", s.Now())
+	}
+	if !st.Idle() {
+		t.Fatal("stream should be idle after Run")
+	}
+}
+
+func TestDelayOccupiesStream(t *testing.T) {
+	s := sim.New()
+	st := New(s, "load")
+	var at sim.Time
+	st.Delay("x", 5*sim.Millisecond)
+	st.Delay("y", 3*sim.Millisecond)
+	st.Do("done", func() { at = s.Now() })
+	s.Run()
+	if at != sim.Time(8*sim.Millisecond) {
+		t.Fatalf("completion at %v, want 8ms", at)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := sim.New()
+	st := New(s, "x")
+	fired := false
+	st.Delay("neg", -5)
+	st.Do("f", func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("task after negative delay did not run")
+	}
+}
+
+func TestEventRecordWait(t *testing.T) {
+	s := sim.New()
+	load := New(s, "load")
+	exec := New(s, "exec")
+	e := NewEvent()
+	var execAt sim.Time
+
+	load.Delay("copy-layer", 10*sim.Millisecond)
+	load.Record(e)
+	exec.Wait(e)
+	exec.Do("run-layer", func() { execAt = s.Now() })
+	s.Run()
+	if execAt != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("exec ran at %v, want 10ms", execAt)
+	}
+	if !e.Fired() || e.FiredAt() != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("event fired=%v at=%v", e.Fired(), e.FiredAt())
+	}
+}
+
+func TestWaitOnAlreadyFiredEventPassesThrough(t *testing.T) {
+	s := sim.New()
+	a := New(s, "a")
+	b := New(s, "b")
+	e := NewEvent()
+	a.Record(e)
+	s.Run()
+	var at sim.Time = -1
+	b.Wait(e)
+	b.Do("x", func() { at = s.Now() })
+	s.Run()
+	if at != 0 {
+		t.Fatalf("pass-through wait consumed time: %v", at)
+	}
+}
+
+func TestOnFireAfterFiredRunsImmediately(t *testing.T) {
+	e := NewEvent()
+	e.fire(5)
+	ran := false
+	e.OnFire(func() { ran = true })
+	if !ran {
+		t.Fatal("OnFire on fired event did not run immediately")
+	}
+}
+
+func TestDoubleFireIsNoop(t *testing.T) {
+	e := NewEvent()
+	n := 0
+	e.OnFire(func() { n++ })
+	e.fire(1)
+	e.fire(2)
+	if n != 1 {
+		t.Fatalf("waiter ran %d times", n)
+	}
+	if e.FiredAt() != 1 {
+		t.Fatalf("FiredAt = %v, want 1", e.FiredAt())
+	}
+}
+
+func TestDoubleDonePanics(t *testing.T) {
+	s := sim.New()
+	st := New(s, "bad")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double done did not panic")
+		}
+	}()
+	st.Submit("t", func(done func()) {
+		done()
+		done()
+	})
+	s.Run()
+}
+
+func TestAsyncTaskCompletion(t *testing.T) {
+	s := sim.New()
+	st := New(s, "x")
+	var order []string
+	st.Submit("async", func(done func()) {
+		s.After(7*sim.Millisecond, func() {
+			order = append(order, "async")
+			done()
+		})
+	})
+	st.Do("next", func() { order = append(order, "next") })
+	if st.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", st.QueueLen())
+	}
+	s.Run()
+	if len(order) != 2 || order[0] != "async" || order[1] != "next" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPipelinedLoadExecPattern(t *testing.T) {
+	// The paper's pipelining: load layer i while executing layer i-1.
+	// Three layers, each loads in 10ms and executes in 4ms: exec of layer i
+	// starts at load-done(i) since loading is the bottleneck. Total =
+	// 30ms + 4ms tail.
+	s := sim.New()
+	load := New(s, "load")
+	exec := New(s, "exec")
+	var finish sim.Time
+	for i := 0; i < 3; i++ {
+		e := NewEvent()
+		load.Delay("copy", 10*sim.Millisecond)
+		load.Record(e)
+		exec.Wait(e)
+		exec.Delay("run", 4*sim.Millisecond)
+	}
+	exec.Do("fin", func() { finish = s.Now() })
+	s.Run()
+	if finish != sim.Time(34*sim.Millisecond) {
+		t.Fatalf("pipelined finish = %v, want 34ms", finish)
+	}
+}
+
+func TestStreamName(t *testing.T) {
+	st := New(sim.New(), "migration")
+	if st.Name() != "migration" {
+		t.Fatalf("Name = %q", st.Name())
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a dense CHW float32 feature map (batch 1), the activation type
+// of the CNN half of the functional runtime.
+type Image struct {
+	C, H, W int
+	Data    []float32
+}
+
+// NewImage returns a zero image of the given shape.
+func NewImage(c, h, w int) *Image {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid image shape %dx%dx%d", c, h, w))
+	}
+	return &Image{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// At returns element (c, y, x).
+func (im *Image) At(c, y, x int) float32 { return im.Data[(c*im.H+y)*im.W+x] }
+
+// Set assigns element (c, y, x).
+func (im *Image) Set(c, y, x int, v float32) { im.Data[(c*im.H+y)*im.W+x] = v }
+
+// Clone deep-copies the image.
+func (im *Image) Clone() *Image {
+	c := NewImage(im.C, im.H, im.W)
+	copy(c.Data, im.Data)
+	return c
+}
+
+// Equal reports exact equality including shape.
+func (im *Image) Equal(o *Image) bool {
+	if im.C != o.C || im.H != o.H || im.W != o.W {
+		return false
+	}
+	for i, v := range im.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Conv2D applies a kxk convolution with the given stride and zero padding.
+// Weights are laid out [outC][inC][k][k], followed by outC biases.
+func Conv2D(in *Image, params []float32, outC, k, stride, pad int) *Image {
+	if stride <= 0 || k <= 0 || pad < 0 {
+		panic("tensor: bad conv geometry")
+	}
+	want := outC*in.C*k*k + outC
+	if len(params) != want {
+		panic(fmt.Sprintf("tensor: conv params %d, want %d", len(params), want))
+	}
+	outH := (in.H+2*pad-k)/stride + 1
+	outW := (in.W+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("tensor: conv output collapses")
+	}
+	bias := params[outC*in.C*k*k:]
+	out := NewImage(outC, outH, outW)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				sum := bias[oc]
+				for ic := 0; ic < in.C; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							w := params[((oc*in.C+ic)*k+ky)*k+kx]
+							sum += w * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// BatchNorm2D applies inference-mode batch normalization: params hold
+// gamma, beta, running mean, running variance (each C floats).
+func BatchNorm2D(in *Image, params []float32, eps float64) *Image {
+	if len(params) != 4*in.C {
+		panic(fmt.Sprintf("tensor: batchnorm params %d, want %d", len(params), 4*in.C))
+	}
+	gamma := params[:in.C]
+	beta := params[in.C : 2*in.C]
+	mean := params[2*in.C : 3*in.C]
+	vr := params[3*in.C:]
+	out := NewImage(in.C, in.H, in.W)
+	for c := 0; c < in.C; c++ {
+		inv := float32(1 / math.Sqrt(float64(vr[c])+eps))
+		for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+			out.Data[i] = (in.Data[i]-mean[c])*inv*gamma[c] + beta[c]
+		}
+	}
+	return out
+}
+
+// ReLUImage applies max(0, x) elementwise, returning a new image.
+func ReLUImage(in *Image) *Image {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies kxk max pooling with the given stride (no padding).
+func MaxPool2D(in *Image, k, stride int) *Image {
+	if k <= 0 || stride <= 0 {
+		panic("tensor: bad pool geometry")
+	}
+	outH := (in.H-k)/stride + 1
+	outW := (in.W-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic("tensor: pool output collapses")
+	}
+	out := NewImage(in.C, outH, outW)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				max := float32(math.Inf(-1))
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						if v := in.At(c, oy*stride+ky, ox*stride+kx); v > max {
+							max = v
+						}
+					}
+				}
+				out.Set(c, oy, ox, max)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool reduces each channel to its mean, producing a 1 x C tensor.
+func GlobalAvgPool(in *Image) *Tensor {
+	out := New(1, in.C)
+	n := float64(in.H * in.W)
+	for c := 0; c < in.C; c++ {
+		var sum float64
+		for i := c * in.H * in.W; i < (c+1)*in.H*in.W; i++ {
+			sum += float64(in.Data[i])
+		}
+		out.Set(0, c, float32(sum/n))
+	}
+	return out
+}
+
+// AddImage returns the elementwise sum of two images (residual shortcut).
+func AddImage(a, b *Image) *Image {
+	if a.C != b.C || a.H != b.H || a.W != b.W {
+		panic("tensor: image add shape mismatch")
+	}
+	out := NewImage(a.C, a.H, a.W)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+// Package tensor is a minimal float32 tensor runtime: the small slice of a
+// DL framework the functional tests need to run real forward passes through
+// tiny transformer models.
+//
+// The paper's system executes on libTorch; this reproduction's *timing* is
+// simulated, but the claim that an execution plan changes only *where
+// weights live* — never *what the model computes* — is a functional
+// property. Package forward uses these ops to prove it: a model executed
+// with all weights "on device", with embeddings host-resident (DHA), or
+// partitioned across GPUs produces bit-identical outputs.
+//
+// Everything is straightforward row-major float32 with no SIMD tricks:
+// models under test are tiny, so clarity wins.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 matrix ([rows, cols]); vectors are
+// 1 x n.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero tensor of the given shape.
+func New(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromData wraps data as a rows x cols tensor (no copy).
+func FromData(rows, cols int, data []float32) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float32 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float32) { t.Data[i*t.Cols+j] = v }
+
+// Equal reports exact elementwise equality (shape included).
+func (t *Tensor) Equal(o *Tensor) bool {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		return false
+	}
+	for i, v := range t.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (t *Tensor) MaxAbsDiff(o *Tensor) float64 {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		return math.Inf(1)
+	}
+	var max float64
+	for i := range t.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(o.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MatMul returns t (r x k) times w (k x c).
+func MatMul(t, w *Tensor) *Tensor {
+	if t.Cols != w.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d by %dx%d", t.Rows, t.Cols, w.Rows, w.Cols))
+	}
+	out := New(t.Rows, w.Cols)
+	for i := 0; i < t.Rows; i++ {
+		for k := 0; k < t.Cols; k++ {
+			a := t.At(i, k)
+			if a == 0 {
+				continue
+			}
+			row := w.Data[k*w.Cols : (k+1)*w.Cols]
+			o := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, wv := range row {
+				o[j] += a * wv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns t (r x k) times wᵀ where w is (c x k) — used for tied
+// embedding heads.
+func MatMulT(t, w *Tensor) *Tensor {
+	if t.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: matmulT %dx%d by %dx%d", t.Rows, t.Cols, w.Rows, w.Cols))
+	}
+	out := New(t.Rows, w.Rows)
+	for i := 0; i < t.Rows; i++ {
+		for j := 0; j < w.Rows; j++ {
+			var s float32
+			tr := t.Data[i*t.Cols : (i+1)*t.Cols]
+			wr := w.Data[j*w.Cols : (j+1)*w.Cols]
+			for k := range tr {
+				s += tr[k] * wr[k]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// AddBias adds a length-Cols bias vector to every row, in place.
+func (t *Tensor) AddBias(bias []float32) *Tensor {
+	if len(bias) != t.Cols {
+		panic(fmt.Sprintf("tensor: bias %d for width %d", len(bias), t.Cols))
+	}
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return t
+}
+
+// Add returns t + o elementwise.
+func Add(t, o *Tensor) *Tensor {
+	if t.Rows != o.Rows || t.Cols != o.Cols {
+		panic("tensor: add shape mismatch")
+	}
+	out := New(t.Rows, t.Cols)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] + o.Data[i]
+	}
+	return out
+}
+
+// GELU applies the tanh-approximated GELU elementwise, in place.
+func (t *Tensor) GELU() *Tensor {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+	return t
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance, then scales
+// by gamma and shifts by beta.
+func LayerNorm(t *Tensor, gamma, beta []float32, eps float64) *Tensor {
+	if len(gamma) != t.Cols || len(beta) != t.Cols {
+		panic("tensor: layernorm parameter width mismatch")
+	}
+	out := New(t.Rows, t.Cols)
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(t.Cols)
+		var vr float64
+		for _, v := range row {
+			d := float64(v) - mean
+			vr += d * d
+		}
+		vr /= float64(t.Cols)
+		inv := 1 / math.Sqrt(vr+eps)
+		o := out.Data[i*t.Cols : (i+1)*t.Cols]
+		for j, v := range row {
+			o[j] = float32((float64(v)-mean)*inv)*gamma[j] + beta[j]
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically-stable softmax to each row, in place.
+func (t *Tensor) SoftmaxRows() *Tensor {
+	for i := 0; i < t.Rows; i++ {
+		row := t.Data[i*t.Cols : (i+1)*t.Cols]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			row[j] = float32(e)
+			sum += e
+		}
+		for j := range row {
+			row[j] = float32(float64(row[j]) / sum)
+		}
+	}
+	return t
+}
+
+// EmbeddingLookup gathers rows of table (vocab x dim) for the given ids.
+func EmbeddingLookup(table *Tensor, ids []int) *Tensor {
+	out := New(len(ids), table.Cols)
+	for i, id := range ids {
+		if id < 0 || id >= table.Rows {
+			panic(fmt.Sprintf("tensor: id %d outside vocab %d", id, table.Rows))
+		}
+		copy(out.Data[i*out.Cols:(i+1)*out.Cols], table.Data[id*table.Cols:(id+1)*table.Cols])
+	}
+	return out
+}
+
+// CausalSelfAttention computes masked multi-head attention from a fused
+// qkv tensor (seq x 3*hidden), returning (seq x hidden). GPT-2 semantics:
+// position i attends to positions <= i.
+func CausalSelfAttention(qkv *Tensor, heads int) *Tensor {
+	if qkv.Cols%3 != 0 {
+		panic("tensor: qkv width not divisible by 3")
+	}
+	hidden := qkv.Cols / 3
+	if hidden%heads != 0 {
+		panic("tensor: hidden not divisible by heads")
+	}
+	hd := hidden / heads
+	seq := qkv.Rows
+	out := New(seq, hidden)
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for h := 0; h < heads; h++ {
+		// Scores for this head, causally masked.
+		scores := New(seq, seq)
+		for i := 0; i < seq; i++ {
+			for j := 0; j <= i; j++ {
+				var s float32
+				for k := 0; k < hd; k++ {
+					q := qkv.At(i, h*hd+k)
+					kk := qkv.At(j, hidden+h*hd+k)
+					s += q * kk
+				}
+				scores.Set(i, j, s*scale)
+			}
+			for j := i + 1; j < seq; j++ {
+				scores.Set(i, j, float32(math.Inf(-1)))
+			}
+		}
+		scores.SoftmaxRows()
+		for i := 0; i < seq; i++ {
+			for j := 0; j <= i; j++ {
+				a := scores.At(i, j)
+				for k := 0; k < hd; k++ {
+					v := qkv.At(j, 2*hidden+h*hd+k)
+					out.Data[i*hidden+h*hd+k] += a * v
+				}
+			}
+		}
+	}
+	return out
+}

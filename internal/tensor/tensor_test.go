@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTensor(rng *rand.Rand, r, c int) *Tensor {
+	t := New(r, c)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	x := New(2, 3)
+	x.Set(1, 2, 7)
+	if x.At(1, 2) != 7 || x.At(0, 0) != 0 {
+		t.Fatal("At/Set broken")
+	}
+	c := x.Clone()
+	c.Set(0, 0, 9)
+	if x.At(0, 0) != 0 {
+		t.Fatal("Clone aliases storage")
+	}
+	if !x.Equal(x.Clone()) {
+		t.Fatal("Equal broken")
+	}
+	if x.Equal(New(3, 2)) {
+		t.Fatal("Equal ignores shape")
+	}
+}
+
+func TestBadShapesPanic(t *testing.T) {
+	cases := []func(){
+		func() { New(0, 1) },
+		func() { FromData(2, 2, []float32{1}) },
+		func() { MatMul(New(2, 3), New(2, 3)) },
+		func() { New(1, 2).AddBias([]float32{1}) },
+		func() { Add(New(1, 2), New(2, 1)) },
+		func() { LayerNorm(New(1, 2), []float32{1}, []float32{1, 2}, 1e-5) },
+		func() { EmbeddingLookup(New(4, 2), []int{9}) },
+		func() { CausalSelfAttention(New(2, 4), 1) },
+		func() { CausalSelfAttention(New(2, 6), 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromData(2, 2, []float32{1, 2, 3, 4})
+	b := FromData(2, 2, []float32{5, 6, 7, 8})
+	got := MatMul(a, b)
+	want := FromData(2, 2, []float32{19, 22, 43, 50})
+	if !got.Equal(want) {
+		t.Fatalf("got %v", got.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 3, 4)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(x, id).Equal(x) {
+		t.Fatal("x * I != x")
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 3, 5)
+	w := randTensor(rng, 4, 5) // want x * w^T
+	wT := New(5, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			wT.Set(j, i, w.At(i, j))
+		}
+	}
+	got := MatMulT(x, w)
+	want := MatMul(x, wT)
+	if got.MaxAbsDiff(want) > 1e-5 {
+		t.Fatalf("diff %g", got.MaxAbsDiff(want))
+	}
+}
+
+func TestAddBiasAndAdd(t *testing.T) {
+	x := FromData(2, 2, []float32{1, 2, 3, 4})
+	x.AddBias([]float32{10, 20})
+	want := FromData(2, 2, []float32{11, 22, 13, 24})
+	if !x.Equal(want) {
+		t.Fatalf("AddBias got %v", x.Data)
+	}
+	s := Add(x, x)
+	if s.At(1, 1) != 48 {
+		t.Fatalf("Add got %v", s.Data)
+	}
+}
+
+func TestGELUKnownPoints(t *testing.T) {
+	x := FromData(1, 3, []float32{0, 100, -100})
+	x.GELU()
+	if x.At(0, 0) != 0 {
+		t.Errorf("GELU(0) = %v", x.At(0, 0))
+	}
+	if math.Abs(float64(x.At(0, 1))-100) > 1e-3 {
+		t.Errorf("GELU(100) = %v, want ~100", x.At(0, 1))
+	}
+	if math.Abs(float64(x.At(0, 2))) > 1e-3 {
+		t.Errorf("GELU(-100) = %v, want ~0", x.At(0, 2))
+	}
+}
+
+// Property: LayerNorm with unit gamma / zero beta yields rows with ~zero
+// mean and ~unit variance.
+func TestPropertyLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		cols := 4 + rng.Intn(60)
+		x := randTensor(rng, 1+rng.Intn(6), cols)
+		gamma := make([]float32, cols)
+		beta := make([]float32, cols)
+		for i := range gamma {
+			gamma[i] = 1
+		}
+		out := LayerNorm(x, gamma, beta, 1e-6)
+		for i := 0; i < out.Rows; i++ {
+			var mean, vr float64
+			for j := 0; j < cols; j++ {
+				mean += float64(out.At(i, j))
+			}
+			mean /= float64(cols)
+			for j := 0; j < cols; j++ {
+				d := float64(out.At(i, j)) - mean
+				vr += d * d
+			}
+			vr /= float64(cols)
+			if math.Abs(mean) > 1e-4 || math.Abs(vr-1) > 1e-2 {
+				t.Fatalf("trial %d row %d: mean %g var %g", trial, i, mean, vr)
+			}
+		}
+	}
+}
+
+// Property: softmax rows are positive and sum to 1.
+func TestPropertySoftmaxRows(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				raw[i] = 0
+			}
+			// Clamp to a sane activation range.
+			if raw[i] > 50 {
+				raw[i] = 50
+			}
+			if raw[i] < -50 {
+				raw[i] = -50
+			}
+		}
+		x := FromData(1, len(raw), raw)
+		x.SoftmaxRows()
+		var sum float64
+		for _, v := range x.Data {
+			if v < 0 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddingLookup(t *testing.T) {
+	table := FromData(3, 2, []float32{0, 1, 10, 11, 20, 21})
+	out := EmbeddingLookup(table, []int{2, 0, 2})
+	want := FromData(3, 2, []float32{20, 21, 0, 1, 20, 21})
+	if !out.Equal(want) {
+		t.Fatalf("got %v", out.Data)
+	}
+}
+
+func TestCausalAttentionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const seq, hidden, heads = 5, 8, 2
+	qkv := randTensor(rng, seq, 3*hidden)
+	out := CausalSelfAttention(qkv, heads)
+	if out.Rows != seq || out.Cols != hidden {
+		t.Fatalf("shape %dx%d", out.Rows, out.Cols)
+	}
+	// Causality: row 0 attends only to itself, so its output equals v_0.
+	for k := 0; k < hidden; k++ {
+		if math.Abs(float64(out.At(0, k)-qkv.At(0, 2*hidden+k))) > 1e-5 {
+			t.Fatalf("row 0 not equal to v0 at %d", k)
+		}
+	}
+	// Changing a *future* token must not change an earlier row's output.
+	qkv2 := qkv.Clone()
+	for k := 0; k < 3*hidden; k++ {
+		qkv2.Set(seq-1, k, qkv2.At(seq-1, k)+5)
+	}
+	out2 := CausalSelfAttention(qkv2, heads)
+	for i := 0; i < seq-1; i++ {
+		for k := 0; k < hidden; k++ {
+			if out.At(i, k) != out2.At(i, k) {
+				t.Fatalf("future token leaked into row %d", i)
+			}
+		}
+	}
+	// Changing a *past* token does change the last row.
+	qkv3 := qkv.Clone()
+	for k := 0; k < 3*hidden; k++ {
+		qkv3.Set(0, k, qkv3.At(0, k)+5)
+	}
+	out3 := CausalSelfAttention(qkv3, heads)
+	changed := false
+	for k := 0; k < hidden; k++ {
+		if out.At(seq-1, k) != out3.At(seq-1, k) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("past token had no influence on the last row")
+	}
+}

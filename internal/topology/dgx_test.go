@@ -1,0 +1,77 @@
+package topology
+
+import "testing"
+
+func TestDGX1Shape(t *testing.T) {
+	topo := DGX1()
+	if topo.NumGPUs() != 8 {
+		t.Fatalf("NumGPUs = %d, want 8", topo.NumGPUs())
+	}
+	if len(topo.Uplinks) != 4 {
+		t.Fatalf("switches = %d, want 4", len(topo.Uplinks))
+	}
+	for pair := 0; pair < 4; pair++ {
+		if !topo.SameSwitch(2*pair, 2*pair+1) {
+			t.Errorf("GPUs %d,%d should share a switch", 2*pair, 2*pair+1)
+		}
+	}
+}
+
+func TestDGX1HybridCubeMesh(t *testing.T) {
+	topo := DGX1()
+	// Within each quad: fully connected.
+	for _, quad := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		for _, a := range quad {
+			for _, b := range quad {
+				if a != b && !topo.HasNVLink(a, b) {
+					t.Errorf("missing intra-quad NVLink %d->%d", a, b)
+				}
+			}
+		}
+	}
+	// Cross links i <-> i+4 only.
+	for i := 0; i < 4; i++ {
+		if !topo.HasNVLink(i, i+4) || !topo.HasNVLink(i+4, i) {
+			t.Errorf("missing cross link %d<->%d", i, i+4)
+		}
+	}
+	// 0 and 5 are in different quads without a direct link.
+	if topo.HasNVLink(0, 5) {
+		t.Error("unexpected NVLink 0->5 (hybrid cube-mesh has none)")
+	}
+}
+
+func TestDGX1ParallelPartners(t *testing.T) {
+	topo := DGX1()
+	// Partners of GPU 0 (switch 0): NVLink peers on other switches:
+	// 2,3 (switch 1) and 4 (switch 2). GPU 5..7 are not linked to 0.
+	got := topo.ParallelPartners(0)
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("partners(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partners(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBadNVLinkPairRejected(t *testing.T) {
+	_, err := New(Spec{
+		Name: "bad", GPUName: "g", NumGPUs: 2, GPUMemoryBytes: GiB,
+		GPUsPerSwitch: 1, LaneBandwidth: 10 * GB, UplinkBandwidth: 11 * GB,
+		NVLinkBandwidth: 20 * GB, NVLinkPairs: [][2]int{{0, 9}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range NVLink pair accepted")
+	}
+	_, err = New(Spec{
+		Name: "bad2", GPUName: "g", NumGPUs: 2, GPUMemoryBytes: GiB,
+		GPUsPerSwitch: 1, LaneBandwidth: 10 * GB, UplinkBandwidth: 11 * GB,
+		NVLinkBandwidth: 20 * GB, NVLinkPairs: [][2]int{{1, 1}},
+	})
+	if err == nil {
+		t.Fatal("self NVLink pair accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package tracefmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/engine"
+	"deepplan/internal/planner"
+	"deepplan/internal/profiler"
+	"deepplan/internal/topology"
+)
+
+func runPTDHA(t *testing.T) *engine.Result {
+	t.Helper()
+	m, err := dnn.ByName("bert-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := costmodel.Default()
+	prof, err := profiler.Run(m, cost, topology.P38xlarge(), profiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := planner.New(topology.P38xlarge())
+	res, err := engine.RunOnce(topology.P38xlarge(), cost, engine.Spec{
+		Model: m, Plan: pl.PlanPTDHA(prof, 2), Primary: 0, Secondaries: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteValidJSON(t *testing.T) {
+	res := runPTDHA(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed.OtherData["model"] != "BERT-Base" {
+		t.Fatalf("otherData = %v", parsed.OtherData)
+	}
+	var exec, load, migrate int
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] != "X" {
+			continue
+		}
+		switch int(e["tid"].(float64)) {
+		case tidExec:
+			exec++
+		case tidLoad:
+			load++
+		case tidMigrate:
+			migrate++
+		}
+		if e["dur"].(float64) < 0 {
+			t.Fatal("negative duration event")
+		}
+	}
+	if exec == 0 || load == 0 || migrate == 0 {
+		t.Fatalf("track counts exec=%d load=%d migrate=%d; all should be populated for PT+DHA",
+			exec, load, migrate)
+	}
+	if !strings.Contains(buf.String(), "embeddings.word") {
+		t.Fatal("trace missing layer names")
+	}
+}
+
+func TestWriteNilResult(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"deepplan/internal/sim"
+)
+
+func TestPoissonBasics(t *testing.T) {
+	reqs := Poisson(1, 100, 5000, 40)
+	if len(reqs) != 5000 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At }) {
+		t.Fatal("arrivals not sorted")
+	}
+	for _, r := range reqs {
+		if r.Instance < 0 || r.Instance >= 40 {
+			t.Fatalf("instance %d out of range", r.Instance)
+		}
+	}
+	// Mean rate ~100 rps: 5000 requests should span ~50 s (±15%).
+	span := reqs[len(reqs)-1].At.Seconds()
+	if span < 42 || span > 58 {
+		t.Fatalf("5000 requests at 100 rps spanned %0.1f s, want ~50", span)
+	}
+}
+
+func TestPoissonInstanceSpreadUniform(t *testing.T) {
+	const n, inst = 20000, 10
+	reqs := Poisson(7, 100, n, inst)
+	counts := make([]int, inst)
+	for _, r := range reqs {
+		counts[r.Instance]++
+	}
+	want := float64(n) / inst
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("instance %d got %d of %d requests, want ~%0.0f", i, c, n, want)
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a := Poisson(9, 50, 100, 5)
+	b := Poisson(9, 50, 100, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Poisson(10, 50, 100, 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestPoissonInterarrivalsExponential(t *testing.T) {
+	reqs := Poisson(3, 100, 50000, 1)
+	var gaps []float64
+	prev := sim.Time(0)
+	for _, r := range reqs {
+		gaps = append(gaps, r.At.Sub(prev).Seconds())
+		prev = r.At
+	}
+	// Exponential(λ=100): mean 10 ms, CV 1.
+	var sum, sumsq float64
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum / float64(len(gaps))
+	for _, g := range gaps {
+		sumsq += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(sumsq/float64(len(gaps))) / mean
+	if mean < 0.009 || mean > 0.011 {
+		t.Errorf("mean gap = %g s, want ~0.01", mean)
+	}
+	if cv < 0.9 || cv > 1.1 {
+		t.Errorf("gap CV = %g, want ~1 (exponential)", cv)
+	}
+}
+
+func TestPoissonInvalidInputs(t *testing.T) {
+	if Poisson(1, 0, 10, 5) != nil || Poisson(1, 10, 0, 5) != nil || Poisson(1, 10, 10, 0) != nil {
+		t.Fatal("invalid inputs produced requests")
+	}
+}
+
+func defaultSpec() TraceSpec {
+	return TraceSpec{
+		Seed:         1,
+		Duration:     sim.Duration(30 * 60 * sim.Second), // 30 min for test speed
+		TotalRate:    50,
+		NumFunctions: 90,
+	}
+}
+
+func TestMAFLikeBasics(t *testing.T) {
+	tr, err := MAFLike(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Classes) != 90 {
+		t.Fatalf("classes = %d", len(tr.Classes))
+	}
+	if !sort.SliceIsSorted(tr.Requests, func(i, j int) bool { return tr.Requests[i].At < tr.Requests[j].At }) {
+		t.Fatal("trace not sorted")
+	}
+	// Average rate within 20% of the requested 50 rps.
+	got := float64(len(tr.Requests)) / (30 * 60)
+	if got < 40 || got > 60 {
+		t.Fatalf("trace rate = %0.1f rps, want ~50", got)
+	}
+	for _, r := range tr.Requests {
+		if r.Instance < 0 || r.Instance >= 90 {
+			t.Fatalf("bad instance %d", r.Instance)
+		}
+		if r.At < 0 || r.At.Seconds() > 30*60 {
+			t.Fatalf("arrival %v outside trace window", r.At)
+		}
+	}
+}
+
+func TestMAFLikeHasAllClasses(t *testing.T) {
+	tr, err := MAFLike(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[FunctionClass]int{}
+	for _, c := range tr.Classes {
+		seen[c]++
+	}
+	for _, c := range []FunctionClass{Sustained, Fluctuating, Spiky, Rare} {
+		if seen[c] == 0 {
+			t.Errorf("no %v functions generated", c)
+		}
+	}
+	// Default mix: rare is the most common class by count.
+	if seen[Rare] <= seen[Sustained] {
+		t.Error("rare functions should outnumber sustained ones")
+	}
+}
+
+func TestMAFLikeSustainedDominatesTraffic(t *testing.T) {
+	tr, err := MAFLike(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perClass := map[FunctionClass]int{}
+	for _, r := range tr.Requests {
+		perClass[tr.Classes[r.Instance]]++
+	}
+	if perClass[Sustained] <= perClass[Rare] {
+		t.Error("sustained traffic should dwarf rare traffic")
+	}
+}
+
+func TestMAFLikeSpikyBursts(t *testing.T) {
+	spec := defaultSpec()
+	spec.Mix = map[FunctionClass]float64{Spiky: 1}
+	tr, err := MAFLike(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := tr.RatePerMinute()
+	if len(rates) == 0 {
+		t.Fatal("no per-minute rates")
+	}
+	var max, sum float64
+	for _, r := range rates {
+		sum += r
+		if r > max {
+			max = r
+		}
+	}
+	mean := sum / float64(len(rates))
+	// Bursts from many functions partially overlap, so the aggregate peak
+	// is damped; still expect clearly super-Poisson variation.
+	if max < 1.25*mean {
+		t.Errorf("spiky trace peak %0.1f not bursty vs mean %0.1f", max, mean)
+	}
+}
+
+func TestMAFLikeDeterministic(t *testing.T) {
+	a, _ := MAFLike(defaultSpec())
+	b, _ := MAFLike(defaultSpec())
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("lengths differ across identical seeds")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestMAFLikeInvalidSpec(t *testing.T) {
+	bad := []TraceSpec{
+		{Duration: 0, TotalRate: 1, NumFunctions: 1},
+		{Duration: sim.Second, TotalRate: 0, NumFunctions: 1},
+		{Duration: sim.Second, TotalRate: 1, NumFunctions: 0},
+	}
+	for i, s := range bad {
+		if _, err := MAFLike(s); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestFunctionClassString(t *testing.T) {
+	if Sustained.String() != "sustained" || Rare.String() != "rare" {
+		t.Fatal("FunctionClass.String broken")
+	}
+	if FunctionClass(42).String() != "FunctionClass(42)" {
+		t.Fatal("out-of-range String broken")
+	}
+}
+
+func TestRatePerMinuteEmpty(t *testing.T) {
+	tr := &Trace{}
+	if tr.RatePerMinute() != nil {
+		t.Fatal("empty trace produced rates")
+	}
+}
