@@ -67,6 +67,7 @@ func BenchmarkProfileBERTBase(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := platform.Profile(m, deepplan.ProfileOptions{}); err != nil {
@@ -87,6 +88,7 @@ func BenchmarkPlanAlgorithm1(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := platform.Plan(prof, deepplan.ModePTDHA); err != nil {
@@ -111,6 +113,7 @@ func BenchmarkColdStartSimulation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := platform.Execute(m, pln, deepplan.ExecuteOptions{}); err != nil {
@@ -135,6 +138,7 @@ func BenchmarkWarmInferenceSimulation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := platform.Execute(m, pln, deepplan.ExecuteOptions{Warm: true}); err != nil {
@@ -146,6 +150,7 @@ func BenchmarkWarmInferenceSimulation(b *testing.B) {
 // BenchmarkSimnetFairShare measures max-min reallocation under churn:
 // staggered flows arriving and completing across a shared uplink.
 func BenchmarkSimnetFairShare(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := sim.New()
 		n := simnet.New(s)
@@ -163,6 +168,34 @@ func BenchmarkSimnetFairShare(b *testing.B) {
 	}
 }
 
+// BenchmarkMaxMinRates isolates the progressive-filling rate computation:
+// 64 persistent flows over a two-switch shared-uplink topology (the
+// p3.8xlarge shape), re-triggering reallocation by starting and aborting a
+// probe flow. Steady-state allocs/op is the headline number: the epoch-
+// stamped link scratch state keeps it at the single probe-Flow allocation.
+func BenchmarkMaxMinRates(b *testing.B) {
+	s := sim.New()
+	n := simnet.New(s)
+	uplinks := []*simnet.Link{
+		simnet.NewLink("sw0-up", 12e9), simnet.NewLink("sw1-up", 12e9),
+	}
+	paths := make([][]*simnet.Link, 4)
+	for i := range paths {
+		lane := simnet.NewLink("lane", 11e9)
+		paths[i] = []*simnet.Link{uplinks[i/2], lane}
+	}
+	// Persistent background load: 64 flows that never complete.
+	for f := 0; f < 64; f++ {
+		n.StartFlow("bg", paths[f%4], 1e18, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe := n.StartFlow("probe", paths[i%4], 1e18, nil)
+		n.Abort(probe)
+	}
+}
+
 // BenchmarkFunctionalForwardPass measures the functional tensor runtime on
 // the tiny GPT model the correctness tests execute.
 func BenchmarkFunctionalForwardPass(b *testing.B) {
@@ -172,6 +205,7 @@ func BenchmarkFunctionalForwardPass(b *testing.B) {
 		b.Fatal(err)
 	}
 	ids := []int{5, 17, 3, 96, 0, 42, 7, 7}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := forward.Run(m, w, ids); err != nil {
@@ -189,6 +223,7 @@ func BenchmarkServingThousandRequests(b *testing.B) {
 		b.Fatal(err)
 	}
 	reqs := deepplan.PoissonWorkload(42, 100, 1000, 140)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv, err := platform.NewServer(deepplan.ServerOptions{Policy: deepplan.ModePTDHA})

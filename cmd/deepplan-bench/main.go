@@ -5,22 +5,34 @@
 //
 //	deepplan-bench -list
 //	deepplan-bench -exp fig11
-//	deepplan-bench -exp all [-quick]
+//	deepplan-bench -exp all [-quick] [-parallel [-workers N]]
+//
+// With -parallel, independent experiments — and the independent sweep points
+// inside the serving and batching sweeps — run concurrently on a bounded
+// worker pool (GOMAXPROCS workers unless -workers says otherwise). Every
+// simulation still runs single-threaded on its own sim.Simulator, so the
+// tables on stdout are byte-identical to a serial run; only wall-clock
+// changes. Timing lines go to stderr, keeping stdout a pure function of the
+// experiment set.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"deepplan/internal/experiments"
+	"deepplan/internal/experiments/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	quick := flag.Bool("quick", false, "shrink serving experiments for a fast pass")
+	parallel := flag.Bool("parallel", false, "run independent experiments and sweep points concurrently")
+	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -31,26 +43,43 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick}
-	run := func(e experiments.Experiment) {
-		start := time.Now()
-		if err := e.Run(os.Stdout, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "deepplan-bench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("\n[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	pool := 1
+	if *parallel {
+		pool = runner.Workers(*workers)
+		opts.Workers = pool
 	}
 
+	var exps []experiments.Experiment
 	if *exp == "all" {
-		for _, e := range experiments.All() {
-			run(e)
+		exps = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deepplan-bench: unknown experiment %q; known: %v\n",
+				*exp, experiments.IDs())
+			os.Exit(2)
 		}
-		return
+		exps = []experiments.Experiment{e}
 	}
-	e, ok := experiments.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "deepplan-bench: unknown experiment %q; known: %v\n",
-			*exp, experiments.IDs())
-		os.Exit(2)
+
+	units := make([]runner.Unit, len(exps))
+	for i, e := range exps {
+		e := e
+		units[i] = runner.Unit{Label: e.ID, Run: func(w io.Writer) error {
+			start := time.Now()
+			if err := e.Run(w, opts); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintf(os.Stderr, "[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+			return nil
+		}}
 	}
-	run(e)
+	start := time.Now()
+	if err := runner.Execute(os.Stdout, pool, units); err != nil {
+		fmt.Fprintf(os.Stderr, "deepplan-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%d experiment(s) in %s, %d worker(s)]\n",
+		len(units), time.Since(start).Round(time.Millisecond), pool)
 }

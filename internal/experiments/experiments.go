@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"deepplan"
 	"deepplan/internal/costmodel"
@@ -23,6 +24,13 @@ type Options struct {
 	// Quick shrinks the serving experiments (fewer requests, shorter
 	// trace, coarser sweeps) for use in benchmarks and smoke tests.
 	Quick bool
+	// Workers bounds the worker pool used for independent sweep points
+	// inside an experiment (each point builds its own simulator, so points
+	// share nothing). 0 or 1 computes points serially on the calling
+	// goroutine. Output is byte-identical for every value: parallelism
+	// exists only between simulations, never inside one, and results are
+	// always printed in sweep order.
+	Workers int
 }
 
 // Experiment is one reproducible table/figure.
@@ -84,11 +92,7 @@ var evaluationNames = []string{
 
 // header prints a titled rule.
 func header(w io.Writer, title string) {
-	fmt.Fprintf(w, "%s\n", title)
-	for i := 0; i < len(title); i++ {
-		fmt.Fprint(w, "-")
-	}
-	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
 }
 
 func ms(d deepplan.Duration) float64 { return d.Seconds() * 1e3 }

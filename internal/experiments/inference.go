@@ -6,6 +6,7 @@ import (
 
 	"deepplan"
 	"deepplan/internal/engine"
+	"deepplan/internal/experiments/runner"
 	"deepplan/internal/plan"
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
@@ -182,11 +183,54 @@ func concurrentPTDHA(m *deepplan.Model, p *plan.Plan) (deepplan.Duration, error)
 
 // Figure12 studies throughput while batching 1-8: batch/latency for the
 // cold-start, normalized to Baseline at batch 1.
-func Figure12(w io.Writer, _ Options) error {
+func Figure12(w io.Writer, opts Options) error {
 	header(w, "Figure 12: cold-start throughput vs batch size, normalized to Baseline@1")
 	platform := deepplan.NewP38xlarge()
 	models := []string{"resnet50", "bert-base", "roberta-large", "gpt2-medium"}
+	modes := []deepplan.Mode{deepplan.ModeBaseline, deepplan.ModePipeSwitch, deepplan.ModePTDHA}
 	batches := []int{1, 2, 4, 8}
+	// Every (model, mode, batch) point is an independent cold-start
+	// simulation; fan out across opts.Workers, then print in sweep order.
+	// Each point loads its own model instance so points share no state.
+	type point struct {
+		model string
+		mode  deepplan.Mode
+		batch int
+		tput  float64
+	}
+	points := make([]point, 0, len(models)*len(modes)*len(batches))
+	for _, name := range models {
+		for _, mode := range modes {
+			for _, bs := range batches {
+				points = append(points, point{model: name, mode: mode, batch: bs})
+			}
+		}
+	}
+	err := runner.ForEach(opts.Workers, len(points), func(i int) error {
+		p := &points[i]
+		m, err := deepplan.LoadModel(p.model)
+		if err != nil {
+			return err
+		}
+		prof, err := platform.Profile(m, deepplan.ProfileOptions{Batch: p.batch})
+		if err != nil {
+			return err
+		}
+		pln, err := platform.Plan(prof, p.mode)
+		if err != nil {
+			return err
+		}
+		res, err := platform.Execute(m, pln, deepplan.ExecuteOptions{Batch: p.batch})
+		if err != nil {
+			return err
+		}
+		p.tput = float64(p.batch) / res.Latency().Seconds()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, name := range models {
 		m, err := deepplan.LoadModel(name)
 		if err != nil {
@@ -198,26 +242,15 @@ func Figure12(w io.Writer, _ Options) error {
 		}
 		fmt.Fprintln(w)
 		var baseT1 float64
-		for _, mode := range []deepplan.Mode{deepplan.ModeBaseline, deepplan.ModePipeSwitch, deepplan.ModePTDHA} {
+		for _, mode := range modes {
 			fmt.Fprintf(w, "%-12s", mode)
 			for _, bs := range batches {
-				prof, err := platform.Profile(m, deepplan.ProfileOptions{Batch: bs})
-				if err != nil {
-					return err
-				}
-				pln, err := platform.Plan(prof, mode)
-				if err != nil {
-					return err
-				}
-				res, err := platform.Execute(m, pln, deepplan.ExecuteOptions{Batch: bs})
-				if err != nil {
-					return err
-				}
-				tput := float64(bs) / res.Latency().Seconds()
+				p := points[next]
+				next++
 				if mode == deepplan.ModeBaseline && bs == 1 {
-					baseT1 = tput
+					baseT1 = p.tput
 				}
-				fmt.Fprintf(w, " %8.2f", tput/baseT1)
+				fmt.Fprintf(w, " %8.2f", p.tput/baseT1)
 			}
 			fmt.Fprintln(w)
 		}

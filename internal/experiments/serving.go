@@ -6,6 +6,7 @@ import (
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
+	"deepplan/internal/experiments/runner"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -50,19 +51,40 @@ func Figure13(w io.Writer, opts Options) error {
 		concurrencies = []int{120, 160, 200}
 		requests = 300
 	}
-	fmt.Fprintf(w, "%-12s %6s %10s %9s %11s %9s\n",
-		"policy", "#inst", "p99(ms)", "goodput", "cold-starts", "capacity")
+	// Each (policy, concurrency) point is an independent simulation, so the
+	// sweep fans out across opts.Workers and prints in sweep order.
+	type point struct {
+		pol  serving.Policy
+		conc int
+		rep  *serving.Report
+	}
+	points := make([]point, 0, len(servingPolicies)*len(concurrencies))
 	for _, pol := range servingPolicies {
 		for _, conc := range concurrencies {
-			reqs := workload.Poisson(42, 100, requests, conc)
-			rep, err := runServing(pol, "bert-base", conc, reqs, 100*sim.Millisecond)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-12s %6d %10.1f %8.1f%% %11d %9d\n",
-				pol, conc, ms(rep.P99), rep.Goodput*100, rep.ColdStarts, rep.WarmCapacity)
+			points = append(points, point{pol: pol, conc: conc})
 		}
-		fmt.Fprintln(w)
+	}
+	err := runner.ForEach(opts.Workers, len(points), func(i int) error {
+		p := &points[i]
+		reqs := workload.Poisson(42, 100, requests, p.conc)
+		rep, err := runServing(p.pol, "bert-base", p.conc, reqs, 100*sim.Millisecond)
+		if err != nil {
+			return err
+		}
+		p.rep = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %6s %10s %9s %11s %9s\n",
+		"policy", "#inst", "p99(ms)", "goodput", "cold-starts", "capacity")
+	for i, p := range points {
+		fmt.Fprintf(w, "%-12s %6d %10.1f %8.1f%% %11d %9d\n",
+			p.pol, p.conc, ms(p.rep.P99), p.rep.Goodput*100, p.rep.ColdStarts, p.rep.WarmCapacity)
+		if (i+1)%len(concurrencies) == 0 {
+			fmt.Fprintln(w)
+		}
 	}
 	fmt.Fprintln(w, "paper: PipeSwitch's p99 blows up from 120 instances; DeepPlan (DHA) holds to 160;")
 	fmt.Fprintln(w, "PT+DHA serves 180 within SLO (1.84x goodput at 180); DeepPlan also fits ~24 more")
@@ -86,6 +108,41 @@ func Figure14(w io.Writer, opts Options) error {
 		{"bert-large", 30, []int{20, 30, 40, 50, 60}},
 		{"gpt2", 90, []int{40, 60, 80, 100, 120}},
 	}
+	// Flatten the (model, policy, concurrency) sweep into independent
+	// simulation points, fan out across opts.Workers, print in sweep order.
+	type point struct {
+		model string
+		rate  float64
+		pol   serving.Policy
+		conc  int
+		rep   *serving.Report
+	}
+	var points []point
+	for _, c := range cases {
+		concs := c.concs
+		if opts.Quick {
+			concs = concs[1:4]
+		}
+		for _, pol := range servingPolicies {
+			for _, conc := range concs {
+				points = append(points, point{model: c.model, rate: c.rate, pol: pol, conc: conc})
+			}
+		}
+	}
+	err := runner.ForEach(opts.Workers, len(points), func(i int) error {
+		p := &points[i]
+		reqs := workload.Poisson(7, p.rate, requests, p.conc)
+		rep, err := runServing(p.pol, p.model, p.conc, reqs, 100*sim.Millisecond)
+		if err != nil {
+			return err
+		}
+		p.rep = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	next := 0
 	for _, c := range cases {
 		concs := c.concs
 		if opts.Quick {
@@ -98,13 +155,9 @@ func Figure14(w io.Writer, opts Options) error {
 		fmt.Fprintln(w)
 		for _, pol := range servingPolicies {
 			fmt.Fprintf(w, "%-12s", pol)
-			for _, conc := range concs {
-				reqs := workload.Poisson(7, c.rate, requests, conc)
-				rep, err := runServing(pol, c.model, conc, reqs, 100*sim.Millisecond)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, " %7.0fms", ms(rep.P99))
+			for range concs {
+				fmt.Fprintf(w, " %7.0fms", ms(points[next].rep.P99))
+				next++
 			}
 			fmt.Fprintln(w)
 		}
@@ -122,7 +175,10 @@ func Figure15(w io.Writer, opts Options) error {
 	rate := 150.0
 	inst := [3]int{48, 48, 12} // BERT-Base : RoBERTa-Base : GPT-2
 	if opts.Quick {
-		duration = 10 * 60 * sim.Second
+		// 3 simulated minutes (~27k requests) keeps the replay meaningful
+		// while fitting the quick registry — run several times per test
+		// suite, including under -race — in seconds, not minutes.
+		duration = 3 * 60 * sim.Second
 	}
 	total := inst[0] + inst[1] + inst[2]
 	tr, err := workload.MAFLike(workload.TraceSpec{

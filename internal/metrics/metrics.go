@@ -43,7 +43,10 @@ func (d *Digest) Quantile(q float64) sim.Duration {
 	if q >= 1 {
 		return secs(d.samples[len(d.samples)-1])
 	}
-	rank := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	// The epsilon guards the exact-boundary case: when q*n is an integer in
+	// exact arithmetic (e.g. 0.28*25 = 7) the float product can land just
+	// above it (7.000000000000001), and a bare Ceil would pick the next rank.
+	rank := int(math.Ceil(q*float64(len(d.samples))-1e-9)) - 1
 	if rank < 0 {
 		rank = 0
 	}

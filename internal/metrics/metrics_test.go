@@ -60,6 +60,20 @@ func TestDigestMaxBeforeSort(t *testing.T) {
 	}
 }
 
+// Regression: when q*n is an integer in exact arithmetic but the float
+// product lands just above it (0.28*25 = 7.000000000000001), nearest-rank
+// must still pick rank 7, not 8. Previously found by
+// TestPropertyQuantileMatchesSort under a random quick.Check seed.
+func TestQuantileExactBoundary(t *testing.T) {
+	var d Digest
+	for i := 1; i <= 25; i++ {
+		d.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	if got := d.Quantile(0.28); got != 7*sim.Millisecond {
+		t.Fatalf("Quantile(0.28) of 1..25ms = %v, want 7ms", got)
+	}
+}
+
 func TestAddAfterQuantileKeepsCorrectness(t *testing.T) {
 	var d Digest
 	d.Add(10 * sim.Millisecond)

@@ -52,6 +52,14 @@ func (t Time) String() string { return Duration(t).String() }
 
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel it before it fires.
+//
+// Event objects are recycled: once an event has fired or been cancelled, the
+// simulator may reuse the object for a later scheduling call. Retaining a
+// pointer past that moment and calling Cancel or Scheduled on it observes the
+// recycled event, so drop (or overwrite) the pointer when the event fires or
+// immediately after cancelling it — exactly what every caller in this
+// repository already does. Recycling is what keeps million-event serving
+// traces from churning the garbage collector.
 type Event struct {
 	at    Time
 	seq   uint64
@@ -101,6 +109,7 @@ type Simulator struct {
 	events eventHeap
 	seq    uint64
 	fired  uint64
+	free   []*Event // recycled Event objects (see Event)
 }
 
 // New returns a Simulator with the clock at zero and no pending events.
@@ -126,7 +135,15 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	var e *Event
+	if k := len(s.free) - 1; k >= 0 {
+		e = s.free[k]
+		s.free[k] = nil
+		s.free = s.free[:k]
+		e.at, e.seq, e.fn, e.index = t, s.seq, fn, -1
+	} else {
+		e = &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	}
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -137,13 +154,15 @@ func (s *Simulator) After(d Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op.
+// Cancel removes a pending event and recycles it. Cancelling an event that
+// already fired or was already cancelled is a no-op.
 func (s *Simulator) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
 	heap.Remove(&s.events, e.index)
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // Step fires the earliest pending event and advances the clock to it.
@@ -155,7 +174,12 @@ func (s *Simulator) Step() bool {
 	e := heap.Pop(&s.events).(*Event)
 	s.now = e.at
 	s.fired++
-	e.fn()
+	fn := e.fn
+	fn()
+	// Recycle after the callback so nothing scheduled inside it can alias
+	// the event that is still conceptually "firing".
+	e.fn = nil
+	s.free = append(s.free, e)
 	return true
 }
 

@@ -19,9 +19,19 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"deepplan/internal/sim"
 )
+
+// linkEpoch hands out globally unique stamps for the per-Link scratch state
+// below. A fresh stamp per traversal makes "have I touched this link in this
+// pass?" a field comparison instead of a map lookup, which keeps the
+// per-event hot path (rate reallocation and busy-time accounting)
+// allocation-free. The counter is atomic only so that independent Networks
+// on different goroutines (the parallel experiment harness) never reuse a
+// stamp; it carries no ordering semantics.
+var linkEpoch atomic.Uint64
 
 // Link is a unidirectional channel with a fixed capacity.
 type Link struct {
@@ -33,6 +43,14 @@ type Link struct {
 	busySince    sim.Time
 	busyTime     sim.Duration
 	activeFlows  int
+
+	// Epoch-stamped scratch state, valid only while the stamp matches the
+	// pass that wrote it. residual/unassigned belong to maxMinRates;
+	// busyEpoch dedupes busy-time accounting in advance.
+	mmEpoch    uint64
+	residual   float64
+	unassigned int
+	busyEpoch  uint64
 }
 
 // NewLink returns a link with the given capacity in bytes per second.
@@ -84,6 +102,8 @@ type Flow struct {
 	onDone    func(at sim.Time)
 	net       *Network
 	done      bool
+	index     int    // position in Network.flows, -1 when not active
+	seq       uint64 // start order, for deterministic completion callbacks
 }
 
 // Name returns the flow's diagnostic name.
@@ -111,11 +131,24 @@ type Network struct {
 	flows      []*Flow
 	lastUpdate sim.Time
 	completion *sim.Event
+	flowSeq    uint64
+
+	// onCompletionFn caches the method value so reallocate does not
+	// allocate a fresh closure on every rate change.
+	onCompletionFn func()
+
+	// Scratch slices reused across calls so the steady-state event loop
+	// never allocates: the distinct links of the active flows, and the
+	// flows finishing at the current instant.
+	links    []*Link
+	finished []*Flow
 }
 
 // New returns an empty Network driven by s.
 func New(s *sim.Simulator) *Network {
-	return &Network{sim: s, lastUpdate: s.Now()}
+	n := &Network{sim: s, lastUpdate: s.Now()}
+	n.onCompletionFn = n.onCompletion
+	return n
 }
 
 // ActiveFlows returns the number of in-flight flows.
@@ -137,7 +170,10 @@ func (n *Network) StartFlow(name string, path []*Link, bytes float64, onDone fun
 		started:   n.sim.Now(),
 		onDone:    onDone,
 		net:       n,
+		index:     -1,
+		seq:       n.flowSeq,
 	}
+	n.flowSeq++
 	if bytes == 0 || len(path) == 0 {
 		f.done = true
 		n.sim.After(0, func() {
@@ -148,6 +184,7 @@ func (n *Network) StartFlow(name string, path []*Link, bytes float64, onDone fun
 		return f
 	}
 	n.advance()
+	f.index = len(n.flows)
 	n.flows = append(n.flows, f)
 	for _, l := range f.path {
 		if l.activeFlows == 0 {
@@ -193,27 +230,35 @@ func (n *Network) advance() {
 			l.bytesCarried += moved
 		}
 	}
-	// Link busy-time accounting: all links with active flows were busy for dt.
-	seen := map[*Link]bool{}
+	// Link busy-time accounting: all links with active flows were busy for
+	// dt. A fresh epoch stamp dedupes links shared by several flows without
+	// allocating a set.
+	epoch := linkEpoch.Add(1)
 	for _, f := range n.flows {
 		for _, l := range f.path {
-			if !seen[l] {
-				seen[l] = true
+			if l.busyEpoch != epoch {
+				l.busyEpoch = epoch
 				l.busyTime += sim.Duration(dt * 1e9)
 			}
 		}
 	}
 }
 
+// remove takes f out of the active set by swapping the last flow into its
+// slot (O(1) instead of an O(n) scan-and-shift). The resulting order of
+// n.flows is an implementation detail; everything order-sensitive —
+// completion callbacks — is sorted by flow start sequence in onCompletion.
 func (n *Network) remove(f *Flow) {
 	f.done = true
 	f.rate = 0
-	for i, g := range n.flows {
-		if g == f {
-			n.flows = append(n.flows[:i], n.flows[i+1:]...)
-			break
-		}
+	i, last := f.index, len(n.flows)-1
+	if i >= 0 && n.flows[i] == f {
+		n.flows[i] = n.flows[last]
+		n.flows[i].index = i
+		n.flows[last] = nil
+		n.flows = n.flows[:last]
 	}
+	f.index = -1
 	for _, l := range f.path {
 		l.activeFlows--
 	}
@@ -228,7 +273,7 @@ func (n *Network) reallocate() {
 	if len(n.flows) == 0 {
 		return
 	}
-	maxMinRates(n.flows)
+	n.maxMinRates()
 	// Next completion.
 	next := math.Inf(1)
 	for _, f := range n.flows {
@@ -246,19 +291,28 @@ func (n *Network) reallocate() {
 		panic("simnet: no flow can make progress")
 	}
 	delay := sim.Duration(math.Ceil(next * 1e9))
-	n.completion = n.sim.After(delay, n.onCompletion)
+	n.completion = n.sim.After(delay, n.onCompletionFn)
 }
 
 // onCompletion fires when at least one flow should have finished.
 func (n *Network) onCompletion() {
 	n.completion = nil
 	n.advance()
-	var finished []*Flow
+	finished := n.finished[:0]
 	for _, f := range n.flows {
 		// Nanosecond rounding can leave a sliver; treat sub-byte remainders
 		// as complete.
 		if f.remaining < 1 {
 			finished = append(finished, f)
+		}
+	}
+	// swap-remove perturbs n.flows order, so sort the batch by start
+	// sequence: completion callbacks fire in flow-start order, exactly as
+	// they did when n.flows preserved insertion order. Insertion sort: the
+	// batch is tiny (usually one flow) and already mostly sorted.
+	for i := 1; i < len(finished); i++ {
+		for j := i; j > 0 && finished[j-1].seq > finished[j].seq; j-- {
+			finished[j-1], finished[j] = finished[j], finished[j-1]
 		}
 	}
 	for _, f := range finished {
@@ -271,39 +325,49 @@ func (n *Network) onCompletion() {
 			f.onDone(n.sim.Now())
 		}
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	n.finished = finished[:0]
 }
 
-// maxMinRates assigns progressive-filling (max–min fair) rates to flows.
-// Algorithm: repeatedly find the most constrained link (minimum residual
-// capacity per unassigned flow), freeze that fair share onto its unassigned
-// flows, subtract, and repeat until every flow has a rate.
-func maxMinRates(flows []*Flow) {
-	type linkState struct {
-		residual   float64
-		unassigned int
-	}
-	states := map[*Link]*linkState{}
+// maxMinRates assigns progressive-filling (max–min fair) rates to the active
+// flows. Algorithm: repeatedly find the most constrained link (minimum
+// residual capacity per unassigned flow), freeze that fair share onto its
+// unassigned flows, subtract, and repeat until every flow has a rate.
+//
+// This runs on every flow arrival and completion, so it carries no per-call
+// state: the per-link (residual, unassigned) pair lives on the Link itself
+// behind an epoch stamp, and the distinct-link list is a scratch slice reused
+// across calls. Replacing the former map[*Link]*linkState also makes the
+// bottleneck scan deterministic (first-seen link order instead of map order).
+func (n *Network) maxMinRates() {
+	flows := n.flows
+	epoch := linkEpoch.Add(1)
+	links := n.links[:0]
 	for _, f := range flows {
 		f.rate = -1
 		for _, l := range f.path {
-			st := states[l]
-			if st == nil {
-				st = &linkState{residual: l.capacity}
-				states[l] = st
+			if l.mmEpoch != epoch {
+				l.mmEpoch = epoch
+				l.residual = l.capacity
+				l.unassigned = 0
+				links = append(links, l)
 			}
-			st.unassigned++
+			l.unassigned++
 		}
 	}
+	n.links = links
 	remaining := len(flows)
 	for remaining > 0 {
 		// Find the bottleneck: minimum fair share among links that still
 		// carry unassigned flows.
 		share := math.Inf(1)
-		for _, st := range states {
-			if st.unassigned == 0 {
+		for _, l := range links {
+			if l.unassigned == 0 {
 				continue
 			}
-			s := st.residual / float64(st.unassigned)
+			s := l.residual / float64(l.unassigned)
 			if s < share {
 				share = s
 			}
@@ -325,8 +389,7 @@ func maxMinRates(flows []*Flow) {
 			}
 			limited := false
 			for _, l := range f.path {
-				st := states[l]
-				if st.residual/float64(st.unassigned) <= share*(1+1e-12) {
+				if l.residual/float64(l.unassigned) <= share*(1+1e-12) {
 					limited = true
 					break
 				}
@@ -338,12 +401,11 @@ func maxMinRates(flows []*Flow) {
 			remaining--
 			progress = true
 			for _, l := range f.path {
-				st := states[l]
-				st.residual -= share
-				if st.residual < 0 {
-					st.residual = 0
+				l.residual -= share
+				if l.residual < 0 {
+					l.residual = 0
 				}
-				st.unassigned--
+				l.unassigned--
 			}
 		}
 		if !progress {
