@@ -217,6 +217,18 @@ func BenchmarkFunctionalForwardPass(b *testing.B) {
 // BenchmarkServingThousandRequests measures the serving system's event
 // throughput at the Figure 13 operating point.
 func BenchmarkServingThousandRequests(b *testing.B) {
+	benchServingThousand(b, false)
+}
+
+// BenchmarkServingThousandRequestsTraced repeats the same operating point
+// with the trace recorder and telemetry attached, so the observation
+// overhead stays an explicit, tracked number next to the untraced baseline.
+func BenchmarkServingThousandRequestsTraced(b *testing.B) {
+	benchServingThousand(b, true)
+}
+
+func benchServingThousand(b *testing.B, traced bool) {
+	b.Helper()
 	platform := deepplan.NewP38xlarge()
 	m, err := deepplan.LoadModel("bert-base")
 	if err != nil {
@@ -226,7 +238,12 @@ func BenchmarkServingThousandRequests(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		srv, err := platform.NewServer(deepplan.ServerOptions{Policy: deepplan.ModePTDHA})
+		opts := deepplan.ServerOptions{Policy: deepplan.ModePTDHA}
+		if traced {
+			opts.Trace = deepplan.NewTraceRecorder()
+			opts.Telemetry = true
+		}
+		srv, err := platform.NewServer(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,5 +254,23 @@ func BenchmarkServingThousandRequests(b *testing.B) {
 		if _, err := srv.Run(reqs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDisabledTracingAddsNoAllocations pins the zero-overhead-when-disabled
+// contract at the API boundary: every recorder entry point on a nil
+// *TraceRecorder — the disabled state the serving hot path sees — must not
+// allocate.
+func TestDisabledTracingAddsNoAllocations(t *testing.T) {
+	var rec *deepplan.TraceRecorder
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Span(0, 0, "exec", "layer", 0, 10)
+		rec.Instant(0, 4, "serving", "evict", 5)
+		rec.Counter(0, "gpu mem (MiB)", 5, 128)
+		rec.AsyncBegin(0, "request", "bert", rec.NextID(), 0, nil)
+		rec.AsyncEnd(0, "request", "bert", 0, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocated %.1f per run; want 0", allocs)
 	}
 }

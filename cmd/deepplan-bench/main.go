@@ -33,7 +33,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink serving experiments for a fast pass")
 	parallel := flag.Bool("parallel", false, "run independent experiments and sweep points concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the representative serving run (fig13/fig15 only)")
+	telemetry := flag.Bool("telemetry", false, "append per-window resource telemetry to fig13/fig15 output")
 	flag.Parse()
+
+	if *tracePath != "" && *exp == "all" {
+		fmt.Fprintln(os.Stderr, "deepplan-bench: -trace needs a single experiment (-exp fig13 or -exp fig15)")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -42,7 +49,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, Telemetry: *telemetry}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	deepplan-server -policy pt+dha -model bert-base -instances 180 -rate 100 -requests 1000
-//	deepplan-server -policy dha -trace -duration 30m -rate 150 \
+//	deepplan-server -policy dha -maf -duration 30m -rate 150 \
 //	    -mix bert-base:48,roberta-base:48,gpt2:12
+//	deepplan-server -policy pt+dha -instances 140 -trace run.json -telemetry
+//
+// -trace writes the run's full timeline (request lifecycle, per-layer
+// streams, PCIe/NVLink bandwidth, memory occupancy) as Chrome trace-event
+// JSON for https://ui.perfetto.dev; summarize it with deepplan-trace.
+// Tracing is observation-only: results are identical with it on or off.
 package main
 
 import (
@@ -30,23 +36,31 @@ func main() {
 	sloMs := flag.Int("slo", 100, "SLO in milliseconds")
 	maxBatch := flag.Int("maxbatch", 1, "dynamic batching limit for warm requests (1 disables)")
 	seed := flag.Int64("seed", 42, "workload seed")
-	trace := flag.Bool("trace", false, "replay a MAF-like trace instead of Poisson")
-	duration := flag.Duration("duration", 3*time.Hour, "trace duration (with -trace)")
+	maf := flag.Bool("maf", false, "replay a MAF-like trace instead of Poisson")
+	duration := flag.Duration("duration", 3*time.Hour, "trace duration (with -maf)")
 	mix := flag.String("mix", "", "trace deployment, e.g. bert-base:48,roberta-base:48,gpt2:12")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
+	telemetry := flag.Bool("telemetry", false, "print the per-window resource telemetry table")
 	flag.Parse()
 
+	var rec *deepplan.TraceRecorder
+	if *tracePath != "" {
+		rec = deepplan.NewTraceRecorder()
+	}
 	platform := deepplan.NewP38xlarge()
 	srv, err := platform.NewServer(deepplan.ServerOptions{
-		Policy:   deepplan.Mode(*policy),
-		SLO:      deepplan.Duration(*sloMs) * sim.Millisecond,
-		MaxBatch: *maxBatch,
+		Policy:    deepplan.Mode(*policy),
+		SLO:       deepplan.Duration(*sloMs) * sim.Millisecond,
+		MaxBatch:  *maxBatch,
+		Trace:     rec,
+		Telemetry: *telemetry,
 	})
 	if err != nil {
 		fail("%v", err)
 	}
 
 	var reqs []deepplan.Request
-	if *trace {
+	if *maf {
 		deployments, err := parseMix(*mix, *modelName, *instances)
 		if err != nil {
 			fail("%v", err)
@@ -107,7 +121,7 @@ func main() {
 			rep.Relocations, rep.PTFallbacks)
 	}
 
-	if *trace {
+	if *maf {
 		fmt.Printf("\nper-15-minute windows:\n%-8s %9s %9s %9s %7s\n",
 			"minute", "requests", "p99(ms)", "goodput", "colds")
 		for i, ws := range rep.PerWindow {
@@ -117,6 +131,37 @@ func main() {
 			fmt.Printf("%-8d %9d %9.1f %8.1f%% %7d\n",
 				i, ws.Requests, ws.P99.Seconds()*1e3, ws.Goodput*100, ws.ColdStarts)
 		}
+	}
+
+	if *telemetry {
+		fmt.Printf("\nper-window telemetry:\n%-8s %9s %7s %7s %7s %7s %7s\n",
+			"minute", "requests", "cold%", "queue", "busy%", "evict", "reloc")
+		for _, w := range rep.Telemetry {
+			if w.Requests == 0 && w.Evictions == 0 {
+				continue
+			}
+			fmt.Printf("%-8.0f %9d %6.1f%% %7.2f %6.1f%% %7d %7d\n",
+				w.Start.Seconds()/60, w.Requests, w.ColdRatio*100,
+				w.MeanQueueDepth, w.BusyFraction*100, w.Evictions, w.Relocations)
+		}
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		werr := deepplan.WriteTrace(f, rec, map[string]string{
+			"policy": *policy,
+			"seed":   strconv.FormatInt(*seed, 10),
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail("writing trace: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *tracePath)
 	}
 }
 

@@ -1,0 +1,175 @@
+// deepplan-trace summarizes a Chrome trace-event file written by
+// deepplan-server -trace, deepplan-bench -trace, or deepplan -trace into the
+// latency breakdown behind it: per request class (cold / warm, split by
+// model), where time went — queueing behind other requests, stalling on
+// weight loads, or executing — plus counts of the serving events (evictions,
+// relocations, deferrals) recorded on the timeline.
+//
+// Usage:
+//
+//	deepplan-server -instances 140 -trace run.json
+//	deepplan-trace run.json
+//
+// The numbers come from the request lifecycle rows the server attaches to
+// every async begin event, so no span pairing is needed; the same file loads
+// unmodified in https://ui.perfetto.dev for visual inspection.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"deepplan/internal/metrics"
+	"deepplan/internal/sim"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	OtherData   map[string]string `json:"otherData"`
+	TraceEvents []event           `json:"traceEvents"`
+}
+
+// breakdown accumulates the per-class latency components.
+type breakdown struct {
+	queue, load, exec, total metrics.Digest
+}
+
+func (b *breakdown) add(args map[string]any) bool {
+	q, okQ := args["queue_us"].(float64)
+	l, okL := args["load_us"].(float64)
+	e, okE := args["exec_us"].(float64)
+	t, okT := args["total_us"].(float64)
+	if !okQ || !okL || !okE || !okT {
+		return false
+	}
+	us := func(v float64) sim.Duration { return sim.Duration(v * 1e3) }
+	b.queue.Add(us(q))
+	b.load.Add(us(l))
+	b.exec.Add(us(e))
+	b.total.Add(us(t))
+	return true
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: deepplan-trace <trace.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("parsing %s: %v", path, err)
+	}
+
+	classes := map[string]*breakdown{}
+	instants := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "b":
+			class, ok := e.Args["class"].(string)
+			if !ok {
+				continue
+			}
+			for _, key := range []string{class, class + " " + e.Name} {
+				b := classes[key]
+				if b == nil {
+					b = &breakdown{}
+					classes[key] = b
+				}
+				b.add(e.Args)
+			}
+		case "i":
+			// Serving instants are named "<verb> <model>"; tally by verb.
+			verb, _, _ := strings.Cut(e.Name, " ")
+			instants[verb]++
+		}
+	}
+	if len(classes) == 0 {
+		fail("%s holds no request lifecycle events (written without serving tracing?)", path)
+	}
+
+	fmt.Printf("trace: %s (%d events)\n", path, len(tf.TraceEvents))
+	for _, k := range sortedKeys(tf.OtherData) {
+		fmt.Printf("%s: %s\n", k, tf.OtherData[k])
+	}
+
+	fmt.Printf("\n%-28s %7s  %8s %8s  %8s %8s  %8s %8s  %8s %8s\n",
+		"class", "n", "queue", "p99", "load", "p99", "exec", "p99", "total", "p99")
+	fmt.Printf("%-28s %7s  %8s %8s  %8s %8s  %8s %8s  %8s %8s\n",
+		"", "", "mean(ms)", "(ms)", "mean(ms)", "(ms)", "mean(ms)", "(ms)", "mean(ms)", "(ms)")
+	names := sortedBreakdownKeys(classes)
+	for _, name := range names {
+		b := classes[name]
+		label := name
+		if strings.ContainsRune(name, ' ') {
+			label = "  " + name // per-model rows indent under their class
+		}
+		fmt.Printf("%-28s %7d  %8.1f %8.1f  %8.1f %8.1f  %8.1f %8.1f  %8.1f %8.1f\n",
+			label, b.total.Count(),
+			ms(b.queue.Mean()), ms(b.queue.P99()),
+			ms(b.load.Mean()), ms(b.load.P99()),
+			ms(b.exec.Mean()), ms(b.exec.P99()),
+			ms(b.total.Mean()), ms(b.total.P99()))
+	}
+
+	var verbs []string
+	for v := range instants {
+		if v == "drain" || v == "batch" || v == "cold" {
+			continue // cold starts are already the "cold" class above
+		}
+		verbs = append(verbs, v)
+	}
+	if len(verbs) > 0 {
+		sort.Strings(verbs)
+		fmt.Printf("\nserving events:")
+		for _, v := range verbs {
+			fmt.Printf(" %s=%d", v, instants[v])
+		}
+		fmt.Println()
+	}
+}
+
+func ms(d sim.Duration) float64 { return d.Seconds() * 1e3 }
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedBreakdownKeys orders class rows cold before warm, each class header
+// before its per-model rows.
+func sortedBreakdownKeys(m map[string]*breakdown) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "deepplan-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -33,16 +33,19 @@ package deepplan
 
 import (
 	"fmt"
+	"io"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/engine"
+	"deepplan/internal/metrics"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
+	"deepplan/internal/trace"
 	"deepplan/internal/workload"
 )
 
@@ -75,7 +78,23 @@ type (
 	ProfileOptions = profiler.Options
 	// CostParams is the calibrated platform cost model.
 	CostParams = costmodel.Params
+	// TraceRecorder collects timeline events (request lifecycle, per-layer
+	// streams, bandwidth and memory counters) against the virtual clock.
+	TraceRecorder = trace.Recorder
+	// TelemetryStat is one window of the resource telemetry snapshot.
+	TelemetryStat = metrics.TelemetryStat
 )
+
+// NewTraceRecorder returns an enabled trace recorder for ServerOptions.Trace.
+// A nil *TraceRecorder disables tracing at zero cost.
+func NewTraceRecorder() *TraceRecorder { return trace.New() }
+
+// WriteTrace exports a recorder's events as Chrome trace-event JSON,
+// loadable in chrome://tracing and https://ui.perfetto.dev. meta, if
+// non-nil, is attached to the file as otherData.
+func WriteTrace(w io.Writer, r *TraceRecorder, meta map[string]string) error {
+	return trace.WriteChrome(w, r, meta)
+}
 
 // Mode selects an execution strategy, matching the paper's five legends.
 type Mode string
@@ -248,6 +267,11 @@ type ServerOptions struct {
 	// MaxBatch enables dynamic batching of warm requests that arrive while
 	// an instance is busy (0/1 disables, the paper's setting).
 	MaxBatch int
+	// Trace, when non-nil, records the serving timeline (observation-only;
+	// results are identical with tracing on or off). Export with WriteTrace.
+	Trace *TraceRecorder
+	// Telemetry enables the windowed resource snapshot in Report.Telemetry.
+	Telemetry bool
 }
 
 // Server is a simulated multi-GPU inference server.
@@ -260,12 +284,14 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		policy = serving.PolicyPTDHA
 	}
 	return serving.New(serving.Config{
-		Topo:     p.build(),
-		Cost:     p.cost,
-		Policy:   policy,
-		SLO:      opts.SLO,
-		Batch:    opts.Batch,
-		MaxBatch: opts.MaxBatch,
+		Topo:      p.build(),
+		Cost:      p.cost,
+		Policy:    policy,
+		SLO:       opts.SLO,
+		Batch:     opts.Batch,
+		MaxBatch:  opts.MaxBatch,
+		Trace:     opts.Trace,
+		Telemetry: opts.Telemetry,
 	})
 }
 

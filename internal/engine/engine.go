@@ -26,15 +26,21 @@ import (
 	"deepplan/internal/simnet"
 	"deepplan/internal/stream"
 	"deepplan/internal/topology"
+	"deepplan/internal/trace"
 )
 
-// Config wires an Engine to its simulation substrate. All fields are
-// required.
+// Config wires an Engine to its simulation substrate. Sim, Net, Topo and
+// Cost are required; Trace is optional.
 type Config struct {
 	Sim  *sim.Simulator
 	Net  *simnet.Network
 	Topo *topology.Topology
 	Cost *costmodel.Params
+	// Trace, when non-nil, receives per-layer exec/load/migrate spans for
+	// every completed run, attributed to the GPU that did the work
+	// (secondary-partition copies land on the secondary's tracks).
+	// Recording is observation-only and never perturbs the simulation.
+	Trace *trace.Recorder
 }
 
 // gpuStreams is the per-device stream set.
@@ -46,11 +52,12 @@ type gpuStreams struct {
 
 // Engine schedules inference runs onto the simulated server.
 type Engine struct {
-	sim  *sim.Simulator
-	net  *simnet.Network
-	topo *topology.Topology
-	cost *costmodel.Params
-	gpus []gpuStreams
+	sim   *sim.Simulator
+	net   *simnet.Network
+	topo  *topology.Topology
+	cost  *costmodel.Params
+	trace *trace.Recorder
+	gpus  []gpuStreams
 }
 
 // New returns an Engine over the given substrate.
@@ -58,7 +65,7 @@ func New(cfg Config) *Engine {
 	if cfg.Sim == nil || cfg.Net == nil || cfg.Topo == nil || cfg.Cost == nil {
 		panic("engine: incomplete config")
 	}
-	e := &Engine{sim: cfg.Sim, net: cfg.Net, topo: cfg.Topo, cost: cfg.Cost}
+	e := &Engine{sim: cfg.Sim, net: cfg.Net, topo: cfg.Topo, cost: cfg.Cost, trace: cfg.Trace}
 	for i := 0; i < cfg.Topo.NumGPUs(); i++ {
 		e.gpus = append(e.gpus, gpuStreams{
 			exec:      stream.New(cfg.Sim, fmt.Sprintf("gpu%d/exec", i)),
@@ -119,12 +126,16 @@ type LayerTiming struct {
 
 // Result summarizes one completed inference.
 type Result struct {
-	Model     string
-	Mode      string
-	Batch     int
-	Primary   int
-	Warm      bool
-	Submitted sim.Time
+	Model   string
+	Mode    string
+	Batch   int
+	Primary int
+	// Secondaries are the GPUs that received partitions 1..N-1 (aliases the
+	// spec's slice; empty for single-partition and warm runs). Needed to
+	// attribute per-partition load/migrate work to the right GPU.
+	Secondaries []int
+	Warm        bool
+	Submitted   sim.Time
 	// ExecBegin is when the execution stream reached this run's first layer
 	// (queueing behind earlier runs excluded from stalls).
 	ExecBegin sim.Time
@@ -215,13 +226,14 @@ func (e *Engine) schedule(spec Spec, batch int) {
 	hostPath := e.topo.HostToGPUPath(spec.Primary)
 
 	rs := &runState{res: &Result{
-		Model:     m.Name,
-		Mode:      p.Mode,
-		Batch:     batch,
-		Primary:   spec.Primary,
-		Warm:      spec.Warm,
-		Submitted: e.sim.Now(),
-		Timings:   make([]LayerTiming, m.NumLayers()),
+		Model:       m.Name,
+		Mode:        p.Mode,
+		Batch:       batch,
+		Primary:     spec.Primary,
+		Secondaries: spec.Secondaries,
+		Warm:        spec.Warm,
+		Submitted:   e.sim.Now(),
+		Timings:     make([]LayerTiming, m.NumLayers()),
 	}}
 	for i := range rs.res.Timings {
 		rs.res.Timings[i] = LayerTiming{
@@ -383,6 +395,9 @@ func (e *Engine) schedule(spec Spec, batch int) {
 	primary.exec.Do("finish:"+m.Name, func() {
 		rs.res.Finish = e.sim.Now()
 		e.finalize(rs.res)
+		if e.trace != nil {
+			rs.res.EmitTrace(e.trace)
+		}
 		if spec.OnDone != nil {
 			spec.OnDone(rs.res)
 		}
@@ -429,6 +444,41 @@ func (e *Engine) finalize(r *Result) {
 	}
 	if last > 0 {
 		r.LoadWindowStart, r.LoadWindowEnd = first, last
+	}
+}
+
+// EmitTrace records the run's per-layer timeline into rec: execution spans
+// on the primary GPU's exec track, host→GPU copy spans on the load track of
+// the GPU that received each partition, and NVLink forwarding spans on the
+// secondary's migration track. It is called automatically for engines built
+// with Config.Trace; exporters for standalone Results (tracefmt) call it
+// directly. Safe on a nil recorder.
+func (r *Result) EmitTrace(rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	for i := range r.Timings {
+		t := &r.Timings[i]
+		if t.ExecDone > t.ExecStart {
+			rec.SpanArgs(r.Primary, trace.TIDExec, "exec", t.Name, t.ExecStart, t.ExecDone,
+				map[string]any{
+					"method":    t.Method.String(),
+					"stall_us":  float64(t.Stall) / 1e3,
+					"partition": t.Partition,
+				})
+		}
+		if t.LoadDone > t.LoadStart {
+			loadGPU := r.Primary
+			if t.Partition > 0 && t.Partition-1 < len(r.Secondaries) {
+				loadGPU = r.Secondaries[t.Partition-1]
+			}
+			rec.Span(loadGPU, trace.TIDLoad, "load", "copy "+t.Name, t.LoadStart, t.LoadDone)
+		}
+		if t.Partition > 0 && t.LoadDone > 0 && t.AvailAt > t.LoadDone &&
+			t.Partition-1 < len(r.Secondaries) {
+			rec.Span(r.Secondaries[t.Partition-1], trace.TIDMigrate, "migrate",
+				"forward "+t.Name, t.LoadDone, t.AvailAt)
+		}
 	}
 }
 

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+	"deepplan/internal/topology"
+	"deepplan/internal/trace"
+)
+
+// tracedRun executes one inference on a fresh sim with a recorder attached
+// to both the engine and the network.
+func tracedRun(t *testing.T, f *fixture, spec Spec) (*Result, *trace.Recorder) {
+	t.Helper()
+	rec := trace.New()
+	s := sim.New()
+	net := simnet.New(s)
+	rec.AttachNetwork(net)
+	e := New(Config{Sim: s, Net: net, Topo: topology.P38xlarge(), Cost: f.cost, Trace: rec})
+	var res *Result
+	spec.OnDone = func(r *Result) { res = r }
+	if err := e.Start(spec); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if res == nil {
+		t.Fatal("run did not complete")
+	}
+	return res, rec
+}
+
+// TestTraceCountersMatchAvgPCIeBandwidth regression-tests the fabric counter
+// track against the engine's own accounting: integrating the primary GPU's
+// PCIe-lane rate samples over time must reproduce Result.BytesLoaded, and
+// averaging over the load window must reproduce AvgPCIeBandwidth() — the
+// quantity behind the paper's §3.2 bandwidth-collapse curve.
+func TestTraceCountersMatchAvgPCIeBandwidth(t *testing.T) {
+	f := fix(t, "bert-base")
+	// PipeSwitch loads every layer over PCIe and uses no DHA, so the lane
+	// carries exactly the copy traffic.
+	res, rec := tracedRun(t, f, Spec{Model: f.model, Plan: f.pl.PlanPipeSwitch(f.prof), Primary: 0})
+
+	type sample struct {
+		at   sim.Time
+		rate float64 // bytes/sec
+	}
+	var lane []sample
+	for _, e := range rec.Events() {
+		if e.Phase != trace.PhaseCounter || !strings.Contains(e.Name, "gpu0-lane") {
+			continue
+		}
+		lane = append(lane, sample{e.TS, e.Value * 1e9})
+	}
+	if len(lane) < 2 {
+		t.Fatalf("got %d lane samples; want a rate curve", len(lane))
+	}
+
+	var bytes float64
+	for i := 0; i+1 < len(lane); i++ {
+		bytes += lane[i].rate * lane[i+1].at.Sub(lane[i].at).Seconds()
+	}
+	// Tolerance covers nanosecond quantization of segment boundaries
+	// (~16 B/ns × 1 ns per flow completion), nothing more.
+	if rel := math.Abs(bytes-res.BytesLoaded) / res.BytesLoaded; rel > 1e-4 {
+		t.Fatalf("integrated lane counters = %.6g bytes, BytesLoaded = %.6g (rel err %.2g)",
+			bytes, res.BytesLoaded, rel)
+	}
+
+	window := res.LoadWindowEnd.Sub(res.LoadWindowStart).Seconds()
+	avg := bytes / window
+	want := res.AvgPCIeBandwidth()
+	if rel := math.Abs(avg-want) / want; rel > 1e-4 {
+		t.Fatalf("counter-derived avg = %.6g B/s, AvgPCIeBandwidth = %.6g (rel err %.2g)",
+			avg, want, rel)
+	}
+}
+
+// TestEmitTraceCoversAllGPUs checks the PT+DHA timeline lands spans on both
+// the primary and the secondary GPU, on the right tracks.
+func TestEmitTraceCoversAllGPUs(t *testing.T) {
+	f := fix(t, "bert-base")
+	res, rec := tracedRun(t, f, Spec{
+		Model: f.model, Plan: f.pl.PlanPTDHA(f.prof, 2), Primary: 0, Secondaries: []int{2},
+	})
+	if len(res.Secondaries) != 1 || res.Secondaries[0] != 2 {
+		t.Fatalf("result secondaries = %v", res.Secondaries)
+	}
+	count := map[[2]int]int{} // (pid, tid) → spans
+	for _, e := range rec.Events() {
+		if e.Phase == trace.PhaseSpan {
+			count[[2]int{e.PID, e.TID}]++
+		}
+	}
+	for _, want := range [][2]int{
+		{0, trace.TIDExec},    // primary executes
+		{0, trace.TIDLoad},    // primary loads partition 0
+		{2, trace.TIDLoad},    // secondary loads partition 1
+		{2, trace.TIDMigrate}, // secondary forwards over NVLink
+	} {
+		if count[want] == 0 {
+			t.Fatalf("no spans on pid=%d tid=%d; per-GPU tracks incomplete (%v)",
+				want[0], want[1], count)
+		}
+	}
+	if count[[2]int{2, trace.TIDExec}] != 0 {
+		t.Fatal("secondary GPU must not execute layers")
+	}
+}

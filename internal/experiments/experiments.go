@@ -31,6 +31,15 @@ type Options struct {
 	// exists only between simulations, never inside one, and results are
 	// always printed in sweep order.
 	Workers int
+	// TracePath, when non-empty, makes the serving experiments that support
+	// tracing (fig13, fig15) record one representative configuration's full
+	// timeline and write it there as Chrome trace-event JSON. Tracing is
+	// observation-only, so the experiment tables are unchanged.
+	TracePath string
+	// Telemetry appends a per-window resource table (cold-start ratio,
+	// queue depth, busy fraction, evictions) for that same representative
+	// configuration to the supporting experiments' output.
+	Telemetry bool
 }
 
 // Experiment is one reproducible table/figure.

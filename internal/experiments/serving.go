@@ -3,13 +3,16 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments/runner"
+	"deepplan/internal/metrics"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
+	"deepplan/internal/trace"
 	"deepplan/internal/workload"
 )
 
@@ -19,13 +22,16 @@ var servingPolicies = []serving.Policy{
 }
 
 // runServing deploys count instances of one model, warms up, and replays
-// the request sequence.
-func runServing(policy serving.Policy, modelName string, count int, reqs []workload.Request, slo sim.Duration) (*serving.Report, error) {
+// the request sequence. rec and telemetry attach observation-only
+// instrumentation to this one run (both off for plain sweep points).
+func runServing(policy serving.Policy, modelName string, count int, reqs []workload.Request, slo sim.Duration, rec *trace.Recorder, telemetry bool) (*serving.Report, error) {
 	srv, err := serving.New(serving.Config{
-		Topo:   topology.P38xlarge(),
-		Cost:   costmodel.Default(),
-		Policy: policy,
-		SLO:    slo,
+		Topo:      topology.P38xlarge(),
+		Cost:      costmodel.Default(),
+		Policy:    policy,
+		SLO:       slo,
+		Trace:     rec,
+		Telemetry: telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -39,6 +45,33 @@ func runServing(policy serving.Policy, modelName string, count int, reqs []workl
 	}
 	srv.Warmup()
 	return srv.Run(reqs)
+}
+
+// writeTraceFile exports a recorder as Chrome trace JSON at path.
+func writeTraceFile(path string, rec *trace.Recorder, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.WriteChrome(f, rec, meta)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// printTelemetry renders a telemetry snapshot as a per-window table.
+func printTelemetry(w io.Writer, stats []metrics.TelemetryStat) {
+	fmt.Fprintf(w, "%-8s %9s %7s %7s %7s %7s %7s\n",
+		"minute", "requests", "cold%", "queue", "busy%", "evict", "reloc")
+	for _, s := range stats {
+		if s.Requests == 0 && s.Evictions == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8.0f %9d %6.1f%% %7.2f %6.1f%% %7d %7d\n",
+			s.Start.Seconds()/60, s.Requests, s.ColdRatio*100,
+			s.MeanQueueDepth, s.BusyFraction*100, s.Evictions, s.Relocations)
+	}
 }
 
 // Figure13 sweeps the number of BERT-Base instances at 100 requests/second
@@ -64,10 +97,32 @@ func Figure13(w io.Writer, opts Options) error {
 			points = append(points, point{pol: pol, conc: conc})
 		}
 	}
+	// The representative configuration for -trace/-telemetry: PT+DHA at the
+	// sweep's highest concurrency, where eviction and cold-start pressure
+	// peak. Only this point carries a recorder — points run concurrently and
+	// recorders are not shared.
+	tracedIdx := -1
+	var rec *trace.Recorder
+	if opts.TracePath != "" || opts.Telemetry {
+		for i := range points {
+			if points[i].pol == serving.PolicyPTDHA &&
+				points[i].conc == concurrencies[len(concurrencies)-1] {
+				tracedIdx = i
+			}
+		}
+		if opts.TracePath != "" {
+			rec = trace.New()
+		}
+	}
 	err := runner.ForEach(opts.Workers, len(points), func(i int) error {
 		p := &points[i]
+		var pr *trace.Recorder
+		if i == tracedIdx {
+			pr = rec
+		}
 		reqs := workload.Poisson(42, 100, requests, p.conc)
-		rep, err := runServing(p.pol, "bert-base", p.conc, reqs, 100*sim.Millisecond)
+		rep, err := runServing(p.pol, "bert-base", p.conc, reqs, 100*sim.Millisecond,
+			pr, i == tracedIdx && opts.Telemetry)
 		if err != nil {
 			return err
 		}
@@ -89,6 +144,21 @@ func Figure13(w io.Writer, opts Options) error {
 	fmt.Fprintln(w, "paper: PipeSwitch's p99 blows up from 120 instances; DeepPlan (DHA) holds to 160;")
 	fmt.Fprintln(w, "PT+DHA serves 180 within SLO (1.84x goodput at 180); DeepPlan also fits ~24 more")
 	fmt.Fprintln(w, "instances because embeddings stay in host memory")
+	if tracedIdx >= 0 {
+		p := &points[tracedIdx]
+		if opts.Telemetry {
+			fmt.Fprintf(w, "\nper-window telemetry (pt+dha, %d instances):\n", p.conc)
+			printTelemetry(w, p.rep.Telemetry)
+		}
+		if opts.TracePath != "" {
+			if err := writeTraceFile(opts.TracePath, rec, map[string]string{
+				"experiment": "fig13", "policy": "pt+dha",
+				"instances": fmt.Sprint(p.conc),
+			}); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -132,7 +202,7 @@ func Figure14(w io.Writer, opts Options) error {
 	err := runner.ForEach(opts.Workers, len(points), func(i int) error {
 		p := &points[i]
 		reqs := workload.Poisson(7, p.rate, requests, p.conc)
-		rep, err := runServing(p.pol, p.model, p.conc, reqs, 100*sim.Millisecond)
+		rep, err := runServing(p.pol, p.model, p.conc, reqs, 100*sim.Millisecond, nil, false)
 		if err != nil {
 			return err
 		}
@@ -192,12 +262,25 @@ func Figure15(w io.Writer, opts Options) error {
 
 	fmt.Fprintf(w, "%-12s %9s %9s %9s %11s %10s\n",
 		"policy", "p50(ms)", "p99(ms)", "goodput", "cold-starts", "worst-min")
+	// -trace/-telemetry observe the PT+DHA replay. Tracing is
+	// observation-only, so attaching the recorder to the real run (rather
+	// than a rerun) leaves the table byte-identical.
+	var rec *trace.Recorder
+	var telStats []metrics.TelemetryStat
 	for _, pol := range servingPolicies {
+		instrument := pol == serving.PolicyPTDHA
+		var pr *trace.Recorder
+		if instrument && opts.TracePath != "" {
+			pr = trace.New()
+			rec = pr
+		}
 		srv, err := serving.New(serving.Config{
-			Topo:   topology.P38xlarge(),
-			Cost:   costmodel.Default(),
-			Policy: pol,
-			SLO:    100 * sim.Millisecond,
+			Topo:      topology.P38xlarge(),
+			Cost:      costmodel.Default(),
+			Policy:    pol,
+			SLO:       100 * sim.Millisecond,
+			Trace:     pr,
+			Telemetry: instrument && opts.Telemetry,
 		})
 		if err != nil {
 			return err
@@ -226,8 +309,22 @@ func Figure15(w io.Writer, opts Options) error {
 		}
 		fmt.Fprintf(w, "%-12s %9.1f %9.1f %8.1f%% %11d %8.0fms\n",
 			pol, ms(rep.P50), ms(rep.P99), rep.Goodput*100, rep.ColdStarts, ms(worst))
+		if instrument && opts.Telemetry {
+			telStats = rep.Telemetry
+		}
 	}
 	fmt.Fprintln(w, "\npaper: DeepPlan's two designs reach 98-99% goodput where PipeSwitch ranges")
 	fmt.Fprintln(w, "81-98%, with occasional non-persistent latency spikes in individual minutes")
+	if opts.Telemetry {
+		fmt.Fprintln(w, "\nper-window telemetry (pt+dha):")
+		printTelemetry(w, telStats)
+	}
+	if opts.TracePath != "" {
+		if err := writeTraceFile(opts.TracePath, rec, map[string]string{
+			"experiment": "fig15", "policy": "pt+dha",
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -160,3 +160,122 @@ func (s *Series) Stats() []WindowStat {
 	}
 	return out
 }
+
+// Telemetry buckets resource-level serving observations into fixed windows:
+// cold-start ratio, queue depth at arrival, GPU busy time, and
+// eviction/relocation/deferral counts. It complements Series (which tracks
+// latency) with the per-resource signals a serving operator watches —
+// Clockwork and Orca both debug tail latency from exactly this telemetry.
+// All inputs are virtual-time instants, so collection is deterministic and
+// observation-only.
+type Telemetry struct {
+	window  sim.Duration
+	numGPUs int
+	windows []telemetryWindow
+}
+
+type telemetryWindow struct {
+	requests    int
+	coldStarts  int
+	evictions   int
+	relocations int
+	deferred    int
+	queueSum    int64
+	busy        sim.Duration
+}
+
+// TelemetryStat is one window of the telemetry snapshot, with derived
+// ratios computed.
+type TelemetryStat struct {
+	Start       sim.Time
+	Requests    int
+	ColdStarts  int
+	Evictions   int
+	Relocations int
+	Deferred    int
+	// ColdRatio is ColdStarts/Requests (0 for an empty window).
+	ColdRatio float64
+	// MeanQueueDepth averages the total outstanding runs across all GPUs,
+	// sampled at each request arrival.
+	MeanQueueDepth float64
+	// BusyFraction is summed GPU busy time over numGPUs*window capacity.
+	BusyFraction float64
+}
+
+// NewTelemetry returns a Telemetry with the given bucket width over a
+// server with numGPUs devices.
+func NewTelemetry(window sim.Duration, numGPUs int) *Telemetry {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: telemetry window must be positive, got %v", window))
+	}
+	if numGPUs <= 0 {
+		panic(fmt.Sprintf("metrics: telemetry needs at least one GPU, got %d", numGPUs))
+	}
+	return &Telemetry{window: window, numGPUs: numGPUs}
+}
+
+func (t *Telemetry) at(at sim.Time) *telemetryWindow {
+	idx := int(at / sim.Time(t.window))
+	for len(t.windows) <= idx {
+		t.windows = append(t.windows, telemetryWindow{})
+	}
+	return &t.windows[idx]
+}
+
+// Arrival records one request arrival and the total queue depth
+// (outstanding runs across all GPUs) observed at that instant.
+func (t *Telemetry) Arrival(at sim.Time, queueDepth int) {
+	w := t.at(at)
+	w.requests++
+	w.queueSum += int64(queueDepth)
+}
+
+// ColdStart records a cold-start launch.
+func (t *Telemetry) ColdStart(at sim.Time) { t.at(at).coldStarts++ }
+
+// Eviction records an instance eviction.
+func (t *Telemetry) Eviction(at sim.Time) { t.at(at).evictions++ }
+
+// Relocation records a warm instance moving to a cooler GPU.
+func (t *Telemetry) Relocation(at sim.Time) { t.at(at).relocations++ }
+
+// Deferred records a request parked on the waitlist for lack of memory.
+func (t *Telemetry) Deferred(at sim.Time) { t.at(at).deferred++ }
+
+// Busy credits one GPU with busy time over [from, to), split across the
+// windows the interval overlaps.
+func (t *Telemetry) Busy(from, to sim.Time) {
+	for from < to {
+		w := t.at(from)
+		end := (from/sim.Time(t.window) + 1) * sim.Time(t.window)
+		if end > to {
+			end = to
+		}
+		w.busy += end.Sub(from)
+		from = end
+	}
+}
+
+// Stats returns the per-window telemetry snapshot, in time order.
+func (t *Telemetry) Stats() []TelemetryStat {
+	out := make([]TelemetryStat, len(t.windows))
+	capacity := float64(t.numGPUs) * t.window.Seconds()
+	for i := range t.windows {
+		w := &t.windows[i]
+		s := TelemetryStat{
+			Start:        sim.Time(i) * sim.Time(t.window),
+			Requests:     w.requests,
+			ColdStarts:   w.coldStarts,
+			Evictions:    w.evictions,
+			Relocations:  w.relocations,
+			Deferred:     w.deferred,
+			BusyFraction: w.busy.Seconds() / capacity,
+		}
+		if w.requests > 0 {
+			s.ColdRatio = float64(w.coldStarts) / float64(w.requests)
+			s.MeanQueueDepth = float64(w.queueSum) / float64(w.requests)
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"testing"
+
+	"deepplan/internal/sim"
+)
+
+func TestTelemetryWindows(t *testing.T) {
+	tel := NewTelemetry(10*sim.Second, 4)
+	tel.Arrival(1*sim.Time(sim.Second), 2)
+	tel.Arrival(3*sim.Time(sim.Second), 4)
+	tel.ColdStart(3 * sim.Time(sim.Second))
+	tel.Eviction(3 * sim.Time(sim.Second))
+	tel.Arrival(15*sim.Time(sim.Second), 0)
+	tel.Relocation(15 * sim.Time(sim.Second))
+	tel.Deferred(16 * sim.Time(sim.Second))
+	tel.Busy(2*sim.Time(sim.Second), 7*sim.Time(sim.Second))
+
+	stats := tel.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("windows = %d, want 2", len(stats))
+	}
+	w0, w1 := stats[0], stats[1]
+	if w0.Requests != 2 || w0.ColdStarts != 1 || w0.Evictions != 1 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if w0.ColdRatio != 0.5 {
+		t.Fatalf("cold ratio = %v, want 0.5", w0.ColdRatio)
+	}
+	if w0.MeanQueueDepth != 3 {
+		t.Fatalf("mean queue depth = %v, want 3", w0.MeanQueueDepth)
+	}
+	// 5 s busy on one of four GPUs over a 10 s window = 1/8.
+	if w0.BusyFraction != 0.125 {
+		t.Fatalf("busy fraction = %v, want 0.125", w0.BusyFraction)
+	}
+	if w1.Requests != 1 || w1.Relocations != 1 || w1.Deferred != 1 {
+		t.Fatalf("window 1 = %+v", w1)
+	}
+	if w1.Start != sim.Time(10*sim.Second) {
+		t.Fatalf("window 1 start = %v", w1.Start)
+	}
+}
+
+// A busy interval spanning window boundaries must credit each window only
+// with its own share.
+func TestTelemetryBusySplitsAcrossWindows(t *testing.T) {
+	tel := NewTelemetry(10*sim.Second, 1)
+	tel.Busy(8*sim.Time(sim.Second), 23*sim.Time(sim.Second))
+	stats := tel.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("windows = %d, want 3", len(stats))
+	}
+	want := []float64{0.2, 1.0, 0.3}
+	for i, w := range stats {
+		if w.BusyFraction != want[i] {
+			t.Fatalf("window %d busy = %v, want %v", i, w.BusyFraction, want[i])
+		}
+	}
+}
+
+func TestTelemetryEmptyWindowRatios(t *testing.T) {
+	tel := NewTelemetry(10*sim.Second, 2)
+	tel.Eviction(5 * sim.Time(sim.Second)) // window exists but has no requests
+	w := tel.Stats()[0]
+	if w.ColdRatio != 0 || w.MeanQueueDepth != 0 {
+		t.Fatalf("empty-window ratios = %+v; want zeros", w)
+	}
+}
+
+func TestTelemetryValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTelemetry(0, 1) },
+		func() { NewTelemetry(sim.Second, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid telemetry config accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

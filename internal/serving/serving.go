@@ -29,6 +29,7 @@ import (
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
 	"deepplan/internal/topology"
+	"deepplan/internal/trace"
 	"deepplan/internal/workload"
 )
 
@@ -68,6 +69,16 @@ type Config struct {
 	MaxBatch int
 	// WindowWidth buckets the per-window series. Default 1 minute.
 	WindowWidth sim.Duration
+	// Trace, when non-nil, records the full request lifecycle (arrive →
+	// queue → cold-load/warm-hit → batch → execute → complete), instant
+	// events for evictions/relocations/waitlist drains, per-GPU memory
+	// occupancy counters, and — via the engine and network — per-layer
+	// stream spans and per-link PCIe/NVLink bandwidth counters. Tracing is
+	// observation-only: a traced run is byte-identical to an untraced one.
+	Trace *trace.Recorder
+	// Telemetry enables the windowed resource snapshot (cold-start ratio,
+	// queue depth, GPU busy fraction, eviction counts) in Report.Telemetry.
+	Telemetry bool
 }
 
 // InstanceState is an instance's residency state.
@@ -130,6 +141,9 @@ type gpuState struct {
 	queued         int // outstanding inference runs
 	activeColds    int
 	secondaryColds int
+	// busySince is the instant queued last went 0→1; meaningful only while
+	// queued > 0 and only when telemetry is enabled.
+	busySince sim.Time
 }
 
 type waiting struct {
@@ -149,6 +163,10 @@ type Server struct {
 	gpus        []*gpuState
 	deployments map[string]*Deployment
 	instances   []*Instance
+
+	rec      *trace.Recorder    // nil when tracing is off
+	tel      *metrics.Telemetry // nil when telemetry is off
+	traceSeq int64              // request ids for async lifecycle spans
 
 	digest          metrics.Digest
 	series          *metrics.Series
@@ -192,14 +210,21 @@ func New(cfg Config) (*Server, error) {
 	s := sim.New()
 	net := simnet.New(s)
 	srv := &Server{
-		cfg:         cfg,
-		sim:         s,
-		net:         net,
-		eng:         engine.New(engine.Config{Sim: s, Net: net, Topo: cfg.Topo, Cost: cfg.Cost}),
+		cfg: cfg,
+		sim: s,
+		net: net,
+		eng: engine.New(engine.Config{
+			Sim: s, Net: net, Topo: cfg.Topo, Cost: cfg.Cost, Trace: cfg.Trace,
+		}),
 		pl:          planner.New(cfg.Topo),
 		host:        hostmem.NewStore(cfg.HostMemory),
 		deployments: map[string]*Deployment{},
 		series:      metrics.NewSeries(cfg.WindowWidth, cfg.SLO),
+		rec:         cfg.Trace,
+	}
+	srv.rec.AttachNetwork(net) // no-op when tracing is off
+	if cfg.Telemetry {
+		srv.tel = metrics.NewTelemetry(cfg.WindowWidth, cfg.Topo.NumGPUs())
 	}
 	for _, g := range cfg.Topo.GPUs {
 		usable := g.MemoryBytes - cfg.ReservePerGPU
@@ -293,6 +318,9 @@ func (srv *Server) Warmup() int {
 		}
 		warm++
 	}
+	for _, gs := range srv.gpus {
+		srv.memCounter(gs) // baseline occupancy sample for each GPU track
+	}
 	return warm
 }
 
@@ -343,14 +371,29 @@ func (srv *Server) Run(requests []workload.Request) (*Report, error) {
 func (srv *Server) handle(req workload.Request) {
 	inst := srv.instances[req.Instance]
 	inst.lastUsed = srv.sim.Now()
+	if srv.tel != nil {
+		depth := 0
+		for _, g := range srv.gpus {
+			depth += g.queued
+		}
+		srv.tel.Arrival(srv.sim.Now(), depth)
+	}
 	if inst.state == Warm && srv.shouldRelocate(inst) {
 		// The instance's GPU is congested while another is nearly idle:
 		// relocating via a cold start on the cool GPU costs tens of
 		// milliseconds once but sheds seconds of queueing. This mirrors
 		// how serving controllers (e.g. Clockwork's) shift models between
 		// GPUs under skewed load.
+		if srv.rec != nil {
+			srv.rec.InstantArgs(inst.gpu, trace.TIDLifecycle, "serving",
+				"relocate "+inst.dep.Model.Name, srv.sim.Now(),
+				map[string]any{"instance": inst.ID})
+		}
 		srv.evict(inst)
 		srv.relocations++
+		if srv.tel != nil {
+			srv.tel.Relocation(srv.sim.Now())
+		}
 	}
 	if inst.state == Warm {
 		srv.startWarm(inst, req)
@@ -360,10 +403,44 @@ func (srv *Server) handle(req workload.Request) {
 		// No memory can be freed right now (every resident instance is
 		// busy); park the request until a run completes.
 		srv.deferred++
+		if srv.rec != nil {
+			srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+				"defer "+inst.dep.Model.Name, srv.sim.Now(),
+				map[string]any{"instance": inst.ID, "waitlist": len(srv.waitlist) + 1})
+		}
+		if srv.tel != nil {
+			srv.tel.Deferred(srv.sim.Now())
+		}
 		srv.waitlist = append(srv.waitlist, waiting{inst, req})
 		return
 	}
 	srv.startCold(inst, req)
+}
+
+// busyUp marks one more outstanding run on gs, starting the busy clock on
+// the 0→1 transition when telemetry is on.
+func (srv *Server) busyUp(gs *gpuState) {
+	gs.queued++
+	if srv.tel != nil && gs.queued == 1 {
+		gs.busySince = srv.sim.Now()
+	}
+}
+
+// busyDown retires one outstanding run on gs, crediting busy time on the
+// 1→0 transition.
+func (srv *Server) busyDown(gs *gpuState) {
+	gs.queued--
+	if srv.tel != nil && gs.queued == 0 {
+		srv.tel.Busy(gs.busySince, srv.sim.Now())
+	}
+}
+
+// memCounter samples gs's memory occupancy onto its counter track.
+func (srv *Server) memCounter(gs *gpuState) {
+	if srv.rec == nil {
+		return
+	}
+	srv.rec.Counter(gs.id, "gpu mem (MiB)", srv.sim.Now(), float64(gs.mem.Used())/(1<<20))
 }
 
 // shouldRelocate reports whether a warm, idle instance should abandon its
@@ -409,6 +486,7 @@ func (srv *Server) place(inst *Instance) bool {
 			inst.gpu = gs.id
 			inst.block = blk
 			gs.residents[inst] = true
+			srv.memCounter(gs)
 			return true
 		}
 	}
@@ -429,6 +507,8 @@ func (srv *Server) makeRoom(gs *gpuState, need int64) bool {
 
 func (srv *Server) lruIdle(gs *gpuState) *Instance {
 	var victim *Instance
+	// deterministic: the min-by-(lastUsed, ID) reduction picks the same
+	// victim whatever order the map yields.
 	for inst := range gs.residents {
 		if inst.inflight > 0 || inst.loading {
 			continue
@@ -452,15 +532,27 @@ func (srv *Server) evict(inst *Instance) {
 	inst.state = Cold
 	inst.block = nil
 	srv.evictions++
+	if srv.rec != nil {
+		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "serving",
+			"evict "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID})
+	}
+	srv.memCounter(gs)
+	if srv.tel != nil {
+		srv.tel.Eviction(srv.sim.Now())
+	}
 }
 
 // startCold launches the cold-start run that also serves the request.
 func (srv *Server) startCold(inst *Instance, req workload.Request) {
 	srv.coldStarts++
 	gs := srv.gpus[inst.gpu]
-	gs.queued++
+	srv.busyUp(gs)
 	gs.activeColds++
 	inst.inflight++
+	if srv.tel != nil {
+		srv.tel.ColdStart(srv.sim.Now())
+	}
 
 	coldPlan := inst.dep.Plan
 	var secondaries []int
@@ -473,10 +565,20 @@ func (srv *Server) startCold(inst *Instance, req workload.Request) {
 			secondary = nil
 			coldPlan = inst.dep.Fallback
 			srv.ptFallbacks++
+			if srv.rec != nil {
+				srv.rec.InstantArgs(inst.gpu, trace.TIDLifecycle, "serving",
+					"pt-fallback "+inst.dep.Model.Name, srv.sim.Now(),
+					map[string]any{"instance": inst.ID})
+			}
 		} else {
 			secondaries = []int{secondary.id}
 			secondary.secondaryColds++
 		}
+	}
+	if srv.rec != nil {
+		srv.rec.InstantArgs(inst.gpu, trace.TIDLifecycle, "serving",
+			"cold start "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID, "partitions": coldPlan.NumParts})
 	}
 	spec := engine.Spec{
 		Model:       inst.dep.Model,
@@ -487,7 +589,7 @@ func (srv *Server) startCold(inst *Instance, req workload.Request) {
 		OnDone: func(res *engine.Result) {
 			inst.loading = false
 			inst.inflight--
-			gs.queued--
+			srv.busyDown(gs)
 			gs.activeColds--
 			if secondary != nil {
 				secondary.secondaryColds--
@@ -516,11 +618,16 @@ func (srv *Server) startWarm(inst *Instance, req workload.Request) {
 // startWarmBatch issues one (possibly batched) warm inference.
 func (srv *Server) startWarmBatch(inst *Instance, reqs []workload.Request) {
 	gs := srv.gpus[inst.gpu]
-	gs.queued++
+	srv.busyUp(gs)
 	inst.inflight++
 	if len(reqs) > 1 {
 		srv.batchedRuns++
 		srv.batchedRequests += len(reqs)
+		if srv.rec != nil {
+			srv.rec.InstantArgs(inst.gpu, trace.TIDLifecycle, "serving",
+				"batch "+inst.dep.Model.Name, srv.sim.Now(),
+				map[string]any{"requests": len(reqs)})
+		}
 	}
 	spec := engine.Spec{
 		Model:   inst.dep.Model,
@@ -530,7 +637,7 @@ func (srv *Server) startWarmBatch(inst *Instance, reqs []workload.Request) {
 		Warm:    true,
 		OnDone: func(res *engine.Result) {
 			inst.inflight--
-			gs.queued--
+			srv.busyDown(gs)
 			for _, r := range reqs {
 				srv.record(r, res, false)
 			}
@@ -579,6 +686,34 @@ func (srv *Server) record(req workload.Request, res *engine.Result, cold bool) {
 	srv.digest.Add(lat)
 	srv.series.Record(req.At, lat, cold)
 	srv.completed++
+	if srv.rec != nil {
+		// One async row per request: an outer span covering the whole
+		// lifetime with the latency breakdown attached to its begin event
+		// (so summarizers never need to pair begins with ends), and a
+		// nested "queue" span up to first execution. Async events tolerate
+		// the overlap that concurrent requests on one GPU always produce.
+		srv.traceSeq++
+		id := srv.traceSeq
+		class := "warm"
+		if cold {
+			class = "cold"
+		}
+		queue := res.ExecBegin.Sub(req.At)
+		exec := res.Finish.Sub(res.ExecBegin) - res.TotalStall
+		srv.rec.AsyncBegin(res.Primary, "request", res.Model, id, req.At, map[string]any{
+			"class":    class,
+			"instance": req.Instance,
+			"queue_us": float64(queue) / 1e3,
+			"load_us":  float64(res.TotalStall) / 1e3,
+			"exec_us":  float64(exec) / 1e3,
+			"total_us": float64(lat) / 1e3,
+		})
+		if queue > 0 {
+			srv.rec.AsyncBegin(res.Primary, "request", "queue", id, req.At, nil)
+			srv.rec.AsyncEnd(res.Primary, "request", "queue", id, res.ExecBegin)
+		}
+		srv.rec.AsyncEnd(res.Primary, "request", res.Model, id, res.Finish)
+	}
 }
 
 // drainWaitlist retries parked requests after a completion freed capacity.
@@ -588,6 +723,11 @@ func (srv *Server) drainWaitlist() {
 	}
 	pending := srv.waitlist
 	srv.waitlist = nil
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"drain waitlist", srv.sim.Now(),
+			map[string]any{"pending": len(pending)})
+	}
 	for _, w := range pending {
 		if w.inst.state == Warm {
 			srv.startWarm(w.inst, w.req)
@@ -635,6 +775,7 @@ func (srv *Server) CheckInvariants() error {
 	}
 	for _, gs := range srv.gpus {
 		var used int64
+		// deterministic: order-independent sum and membership checks.
 		for inst := range gs.residents {
 			if inst.gpu != gs.id || inst.state != Warm {
 				return fmt.Errorf("serving: residents map of GPU %d holds stray instance %d", gs.id, inst.ID)
@@ -696,10 +837,13 @@ type Report struct {
 	Deferred        int
 	WarmCapacity    int
 	PerWindow       []metrics.WindowStat
+	// Telemetry is the windowed resource snapshot; nil unless
+	// Config.Telemetry was set.
+	Telemetry []metrics.TelemetryStat
 }
 
 func (srv *Server) report(n int) *Report {
-	return &Report{
+	r := &Report{
 		Policy:          srv.cfg.Policy,
 		Requests:        n,
 		P50:             srv.digest.P50(),
@@ -718,4 +862,8 @@ func (srv *Server) report(n int) *Report {
 		WarmCapacity:    srv.WarmCapacity(),
 		PerWindow:       srv.series.Stats(),
 	}
+	if srv.tel != nil {
+		r.Telemetry = srv.tel.Stats()
+	}
+	return r
 }

@@ -51,6 +51,12 @@ type Link struct {
 	residual   float64
 	unassigned int
 	busyEpoch  uint64
+
+	// allocRate is the link's aggregate max-min allocated rate as of the
+	// last maxMinRates pass (valid while mmEpoch matches that pass);
+	// lastRate is the value last handed to the rate observer.
+	allocRate float64
+	lastRate  float64
 }
 
 // NewLink returns a link with the given capacity in bytes per second.
@@ -142,7 +148,21 @@ type Network struct {
 	// flows finishing at the current instant.
 	links    []*Link
 	finished []*Flow
+
+	// Observability (nil when no one is watching, which costs one branch
+	// per reallocation). obsPrev holds the links reported as active by the
+	// previous pass so that a link draining to zero flows emits a final
+	// zero-rate sample; lastMMEpoch identifies the current pass's stamp.
+	obs         RateObserver
+	obsPrev     []*Link
+	lastMMEpoch uint64
 }
+
+// RateObserver receives one sample per link whose max-min allocated rate
+// changed, at the instant of the change. Observers must be passive: they
+// are invoked from inside the simulation's event processing and must not
+// start flows or schedule events.
+type RateObserver func(at sim.Time, link *Link, bytesPerSec float64)
 
 // New returns an empty Network driven by s.
 func New(s *sim.Simulator) *Network {
@@ -153,6 +173,11 @@ func New(s *sim.Simulator) *Network {
 
 // ActiveFlows returns the number of in-flight flows.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// ObserveRates registers fn to receive per-link rate-change samples (nil
+// unregisters). Observation never perturbs the simulation: rates, flow
+// progress, and event order are identical with or without an observer.
+func (n *Network) ObserveRates(fn RateObserver) { n.obs = fn }
 
 // StartFlow begins transferring bytes across path. onDone, if non-nil, is
 // invoked (inside the simulator) when the last byte arrives. A flow with no
@@ -271,9 +296,11 @@ func (n *Network) reallocate() {
 		n.completion = nil
 	}
 	if len(n.flows) == 0 {
+		n.notifyRates()
 		return
 	}
 	n.maxMinRates()
+	n.notifyRates()
 	// Next completion.
 	next := math.Inf(1)
 	for _, f := range n.flows {
@@ -344,6 +371,7 @@ func (n *Network) onCompletion() {
 func (n *Network) maxMinRates() {
 	flows := n.flows
 	epoch := linkEpoch.Add(1)
+	n.lastMMEpoch = epoch
 	links := n.links[:0]
 	for _, f := range flows {
 		f.rate = -1
@@ -352,6 +380,7 @@ func (n *Network) maxMinRates() {
 				l.mmEpoch = epoch
 				l.residual = l.capacity
 				l.unassigned = 0
+				l.allocRate = 0
 				links = append(links, l)
 			}
 			l.unassigned++
@@ -405,6 +434,7 @@ func (n *Network) maxMinRates() {
 				if l.residual < 0 {
 					l.residual = 0
 				}
+				l.allocRate += share
 				l.unassigned--
 			}
 		}
@@ -412,4 +442,33 @@ func (n *Network) maxMinRates() {
 			panic("simnet: max-min allocation made no progress")
 		}
 	}
+}
+
+// notifyRates reports per-link rate changes after a reallocation: a final
+// zero for links that just drained, then the new rate for every active link
+// whose allocation moved. Sample order is deterministic (previous-pass order
+// first, then first-seen order of the current pass).
+func (n *Network) notifyRates() {
+	if n.obs == nil {
+		return
+	}
+	now := n.sim.Now()
+	idle := len(n.flows) == 0
+	for _, l := range n.obsPrev {
+		if (idle || l.mmEpoch != n.lastMMEpoch) && l.lastRate != 0 {
+			l.lastRate = 0
+			n.obs(now, l, 0)
+		}
+	}
+	if idle {
+		n.obsPrev = n.obsPrev[:0]
+		return
+	}
+	for _, l := range n.links {
+		if l.allocRate != l.lastRate {
+			l.lastRate = l.allocRate
+			n.obs(now, l, l.allocRate)
+		}
+	}
+	n.obsPrev = append(n.obsPrev[:0], n.links...)
 }

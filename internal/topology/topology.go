@@ -232,6 +232,8 @@ func (t *Topology) LaneBandwidth() float64 {
 // pair, or 0 if the topology has no NVLink.
 func (t *Topology) NVLinkBandwidth() float64 {
 	for _, g := range t.GPUs {
+		// deterministic: every NVLink in a topology has the same capacity,
+		// so whichever map entry comes first gives the same answer.
 		for _, l := range g.NVLinks {
 			return l.Capacity()
 		}

@@ -1,0 +1,209 @@
+// Package trace is a zero-overhead-when-disabled event recorder for the
+// simulated serving stack. Every layer can append timeline events — the
+// engine's per-layer exec/load/migrate spans on every GPU, the serving
+// system's request-lifecycle spans and eviction/relocation instants, and
+// the network's per-link bandwidth counters — against the *virtual* clock.
+//
+// Tracing is observation-only by construction: the recorder never schedules
+// simulator events, never reads wall-clock time, and never feeds anything
+// back into the layers it observes, so a traced run is byte-identical to an
+// untraced one (tests assert this). When disabled, the recorder is a nil
+// pointer: every method is nil-safe, and hot call sites additionally guard
+// argument construction behind a nil check so the disabled path costs one
+// predictable branch and zero allocations.
+//
+// Exporters: WriteChrome emits the Chrome trace-event JSON consumed by
+// chrome://tracing and https://ui.perfetto.dev; cmd/deepplan-trace turns a
+// written trace back into a queue/load/exec latency-breakdown table.
+package trace
+
+import (
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+)
+
+// Phase is the Chrome trace-event phase of an Event.
+type Phase byte
+
+// Event phases (a subset of the Chrome trace-event format).
+const (
+	PhaseSpan       Phase = 'X' // complete event with duration
+	PhaseInstant    Phase = 'i' // zero-duration mark
+	PhaseCounter    Phase = 'C' // counter sample
+	PhaseAsyncBegin Phase = 'b' // async span begin (overlap-safe)
+	PhaseAsyncEnd   Phase = 'e' // async span end
+)
+
+// Track IDs within a GPU's process. The engine owns exec/load/migrate
+// (mirroring its three CUDA streams); the serving layer owns queue and
+// lifecycle.
+const (
+	TIDExec      = 0 // execution-stream spans (per layer)
+	TIDLoad      = 1 // host→GPU PCIe copy spans
+	TIDMigrate   = 2 // GPU→GPU NVLink forwarding spans
+	TIDQueue     = 3 // serving queue spans
+	TIDLifecycle = 4 // request async rows + serving instants
+	TIDCounter   = 5 // counter samples (memory occupancy)
+)
+
+// Pseudo-process IDs. The exporter remaps them past the largest real GPU
+// pid. FabricPID carries per-link bandwidth counters; ServerPID carries
+// server-wide serving events that belong to no single GPU (waitlist
+// parks/drains).
+const (
+	FabricPID = -1
+	ServerPID = -2
+)
+
+// Event is one recorded timeline entry. Fields beyond (Phase, PID, TID, TS,
+// Name) are phase-specific: Dur for spans, Value for counters, ID for async
+// pairs, Args for everything optional.
+type Event struct {
+	Phase Phase
+	PID   int
+	TID   int
+	TS    sim.Time
+	Dur   sim.Duration
+	ID    int64
+	Value float64
+	Name  string
+	Cat   string
+	Args  map[string]any
+}
+
+// Recorder accumulates events in memory. The zero value is usable; a nil
+// *Recorder is the disabled state and accepts (and drops) every call.
+type Recorder struct {
+	events  []Event
+	asyncID int64
+}
+
+// New returns an empty, enabled Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events exposes the recorded events in insertion order (read-only use).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// NextID hands out a fresh async-span ID.
+func (r *Recorder) NextID() int64 {
+	if r == nil {
+		return 0
+	}
+	r.asyncID++
+	return r.asyncID
+}
+
+// Span records a complete span [start, end) on the given track.
+func (r *Recorder) Span(pid, tid int, cat, name string, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseSpan, PID: pid, TID: tid, TS: start,
+		Dur: end.Sub(start), Name: name, Cat: cat,
+	})
+}
+
+// SpanArgs is Span with attached arguments. Callers must guard the args
+// construction behind Enabled to keep the disabled path allocation-free.
+func (r *Recorder) SpanArgs(pid, tid int, cat, name string, start, end sim.Time, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseSpan, PID: pid, TID: tid, TS: start,
+		Dur: end.Sub(start), Name: name, Cat: cat, Args: args,
+	})
+}
+
+// Instant records a zero-duration mark (rendered as an arrow in Perfetto).
+func (r *Recorder) Instant(pid, tid int, cat, name string, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseInstant, PID: pid, TID: tid, TS: at, Name: name, Cat: cat,
+	})
+}
+
+// InstantArgs is Instant with attached arguments.
+func (r *Recorder) InstantArgs(pid, tid int, cat, name string, at sim.Time, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseInstant, PID: pid, TID: tid, TS: at, Name: name, Cat: cat, Args: args,
+	})
+}
+
+// Counter records one sample of the named counter track.
+func (r *Recorder) Counter(pid int, name string, at sim.Time, value float64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseCounter, PID: pid, TID: TIDCounter, TS: at, Name: name, Value: value,
+	})
+}
+
+// AsyncBegin opens an async span. Async spans with the same (cat, id) nest,
+// and unlike Span they render correctly when spans on one track overlap —
+// which concurrent requests queued on one GPU always do.
+func (r *Recorder) AsyncBegin(pid int, cat, name string, id int64, at sim.Time, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseAsyncBegin, PID: pid, TID: TIDLifecycle, TS: at,
+		ID: id, Name: name, Cat: cat, Args: args,
+	})
+}
+
+// AsyncEnd closes an async span opened with the same (cat, name, id).
+func (r *Recorder) AsyncEnd(pid int, cat, name string, id int64, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Phase: PhaseAsyncEnd, PID: pid, TID: TIDLifecycle, TS: at,
+		ID: id, Name: name, Cat: cat,
+	})
+}
+
+// AttachNetwork subscribes the recorder to n's per-link rate changes and
+// records them as counter tracks (in GB/s) under the fabric pseudo-process,
+// which is how Perfetto renders the paper's §3.2 bandwidth-collapse curve.
+// Attach before starting flows; a nil recorder attaches nothing, keeping
+// the network's hot path untouched.
+func (r *Recorder) AttachNetwork(n *simnet.Network) {
+	if r == nil || n == nil {
+		return
+	}
+	// The counter-name string per link is built once and cached: rate
+	// changes fire on every flow arrival/completion.
+	names := map[*simnet.Link]string{}
+	n.ObserveRates(func(at sim.Time, l *simnet.Link, bytesPerSec float64) {
+		name, ok := names[l]
+		if !ok {
+			name = l.Name() + " (GB/s)"
+			names[l] = name
+		}
+		r.Counter(FabricPID, name, at, bytesPerSec/1e9)
+	})
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"testing"
+
+	"deepplan/internal/sim"
+	"deepplan/internal/simnet"
+)
+
+// TestNilRecorderIsSafeAndFree pins the disabled-mode contract: every method
+// on a nil *Recorder is a no-op and allocates nothing.
+func TestNilRecorderIsSafeAndFree(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Span(0, TIDExec, "exec", "layer", 0, 10)
+		r.Instant(0, TIDLifecycle, "serving", "evict", 5)
+		r.Counter(FabricPID, "lane (GB/s)", 5, 1.5)
+		r.AsyncBegin(0, "request", "bert", r.NextID(), 0, nil)
+		r.AsyncEnd(0, "request", "bert", 0, 10)
+		r.AttachNetwork(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per run; want 0", allocs)
+	}
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder holds events")
+	}
+}
+
+func TestRecorderOrderAndIDs(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("fresh recorder disabled")
+	}
+	id1, id2 := r.NextID(), r.NextID()
+	if id1 == id2 || id1 == 0 {
+		t.Fatalf("NextID gave %d then %d; want distinct non-zero", id1, id2)
+	}
+	r.Span(1, TIDExec, "exec", "a", 100, 200)
+	r.Instant(2, TIDLifecycle, "serving", "b", 50)
+	r.Counter(FabricPID, "lane", 150, 3.25)
+	ev := r.Events()
+	if len(ev) != 3 || r.Len() != 3 {
+		t.Fatalf("recorded %d events; want 3", len(ev))
+	}
+	// Insertion order is preserved (exporters sort on their own copy).
+	if ev[0].Phase != PhaseSpan || ev[0].Dur != 100 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Phase != PhaseInstant || ev[1].TS != 50 {
+		t.Fatalf("event 1 = %+v", ev[1])
+	}
+	if ev[2].Phase != PhaseCounter || ev[2].Value != 3.25 {
+		t.Fatalf("event 2 = %+v", ev[2])
+	}
+}
+
+// TestAttachNetworkCountersIntegrate checks the per-link rate samples against
+// ground truth: integrating each link's piecewise-constant rate over time
+// must reproduce exactly the bytes the link carried, and every link must be
+// driven back to zero when its flows drain.
+func TestAttachNetworkCountersIntegrate(t *testing.T) {
+	s := sim.New()
+	n := simnet.New(s)
+	r := New()
+	r.AttachNetwork(n)
+
+	shared := simnet.NewLink("shared", 10e9)
+	a := simnet.NewLink("lane-a", 8e9)
+	b := simnet.NewLink("lane-b", 8e9)
+	n.StartFlow("fa", []*simnet.Link{a, shared}, 4e9, nil)
+	n.StartFlow("fb", []*simnet.Link{b, shared}, 8e9, nil)
+	s.Run()
+
+	type sample struct {
+		at   sim.Time
+		rate float64
+	}
+	byLink := map[string][]sample{}
+	for _, e := range r.Events() {
+		if e.Phase != PhaseCounter {
+			continue
+		}
+		if e.PID != FabricPID {
+			t.Fatalf("counter on pid %d; want FabricPID", e.PID)
+		}
+		byLink[e.Name] = append(byLink[e.Name], sample{e.TS, e.Value * 1e9})
+	}
+	if len(byLink) != 3 {
+		t.Fatalf("counters for %d links; want 3 (%v)", len(byLink), byLink)
+	}
+	carried := map[string]float64{
+		"shared (GB/s)": shared.BytesCarried(),
+		"lane-a (GB/s)": a.BytesCarried(),
+		"lane-b (GB/s)": b.BytesCarried(),
+	}
+	for name, samples := range byLink {
+		last := samples[len(samples)-1]
+		if last.rate != 0 {
+			t.Fatalf("%s final sample is %.3g B/s; drained links must end at 0", name, last.rate)
+		}
+		var bytes float64
+		for i := 0; i+1 < len(samples); i++ {
+			dt := samples[i+1].at.Sub(samples[i].at).Seconds()
+			bytes += samples[i].rate * dt
+		}
+		want := carried[name]
+		if diff := bytes - want; diff > 1 || diff < -1 {
+			t.Fatalf("%s: integrated %.6g bytes; link carried %.6g", name, bytes, want)
+		}
+	}
+}
+
+// TestAttachNetworkChangeOnly checks that consecutive samples for a link
+// always differ — the observer must fire on changes, not on every event.
+func TestAttachNetworkChangeOnly(t *testing.T) {
+	s := sim.New()
+	n := simnet.New(s)
+	r := New()
+	r.AttachNetwork(n)
+
+	l := simnet.NewLink("lane", 1e9)
+	// Two overlapping flows on one saturated link: the link's aggregate
+	// rate is 1 GB/s from start to drain — while the second flow arrives
+	// (0.5+0.5) and while the first completes (the survivor takes the full
+	// link). Neither boundary changes the link total, so neither may emit.
+	n.StartFlow("f1", []*simnet.Link{l}, 1e9, nil)
+	n.StartFlow("f2", []*simnet.Link{l}, 3e9, nil)
+	s.Run()
+
+	var samples []float64
+	for _, e := range r.Events() {
+		if e.Phase == PhaseCounter {
+			samples = append(samples, e.Value*1e9)
+		}
+	}
+	if len(samples) != 2 || samples[0] != 1e9 || samples[1] != 0 {
+		t.Fatalf("samples = %v; want exactly [1e9, 0] (change-only)", samples)
+	}
+}

@@ -2,99 +2,33 @@
 // format (the JSON consumed by chrome://tracing and https://ui.perfetto.dev),
 // so the load/migrate/execute overlap a plan achieves — the pictures the
 // paper draws in Figures 7–9 — can be inspected visually.
+//
+// Deprecated: tracefmt is now a thin wrapper over internal/trace, kept for
+// existing callers of Write. New code should record with trace.Recorder
+// (which also captures serving lifecycle, bandwidth, and memory tracks) and
+// export with trace.WriteChrome.
 package tracefmt
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
 	"deepplan/internal/engine"
-	"deepplan/internal/plan"
+	"deepplan/internal/trace"
 )
 
-// event is one Chrome trace-event ("X" = complete event with duration).
-type event struct {
-	Name  string            `json:"name"`
-	Phase string            `json:"ph"`
-	TS    float64           `json:"ts"`  // microseconds
-	Dur   float64           `json:"dur"` // microseconds
-	PID   int               `json:"pid"`
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
-}
-
-// metadata names a track.
-type metadata struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args"`
-}
-
-// Track IDs within the trace.
-const (
-	tidExec = iota
-	tidLoad
-	tidMigrate
-)
-
-// Write emits one run's timeline as Chrome trace JSON.
+// Write emits one run's timeline as Chrome trace JSON. Each participating
+// GPU becomes its own process with exec/load/migrate tracks — earlier
+// versions collapsed every event onto pid 0, which hid the secondary GPU's
+// copy and forward streams for parallel-transmission plans.
 func Write(w io.Writer, res *engine.Result) error {
 	if res == nil {
 		return fmt.Errorf("tracefmt: nil result")
 	}
-	var events []any
-	for name, tid := range map[string]int{
-		"execute (GPU " + fmt.Sprint(res.Primary) + ")": tidExec,
-		"load (PCIe)":      tidLoad,
-		"migrate (NVLink)": tidMigrate,
-	} {
-		events = append(events, metadata{
-			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
-			Args: map[string]any{"name": name},
-		})
-	}
-	us := func(ns int64) float64 { return float64(ns) / 1e3 }
-	for i := range res.Timings {
-		t := &res.Timings[i]
-		if t.ExecDone > t.ExecStart {
-			method := t.Method.String()
-			events = append(events, event{
-				Name: t.Name, Phase: "X",
-				TS: us(int64(t.ExecStart)), Dur: us(int64(t.ExecDone - t.ExecStart)),
-				PID: 0, TID: tidExec,
-				Args: map[string]string{
-					"method":    method,
-					"stall":     t.Stall.String(),
-					"partition": fmt.Sprint(t.Partition),
-				},
-			})
-		}
-		if t.LoadDone > t.LoadStart {
-			events = append(events, event{
-				Name: "copy " + t.Name, Phase: "X",
-				TS: us(int64(t.LoadStart)), Dur: us(int64(t.LoadDone - t.LoadStart)),
-				PID: 0, TID: tidLoad,
-			})
-		}
-		if t.Method == plan.Load && t.Partition > 0 && t.AvailAt > t.LoadDone && t.LoadDone > 0 {
-			events = append(events, event{
-				Name: "forward " + t.Name, Phase: "X",
-				TS: us(int64(t.LoadDone)), Dur: us(int64(t.AvailAt - t.LoadDone)),
-				PID: 0, TID: tidMigrate,
-			})
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(map[string]any{
-		"displayTimeUnit": "ms",
-		"traceEvents":     events,
-		"otherData": map[string]string{
-			"model": res.Model,
-			"mode":  res.Mode,
-		},
+	rec := trace.New()
+	res.EmitTrace(rec)
+	return trace.WriteChrome(w, rec, map[string]string{
+		"model": res.Model,
+		"mode":  res.Mode,
 	})
 }

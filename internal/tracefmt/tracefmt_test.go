@@ -12,6 +12,7 @@ import (
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
 	"deepplan/internal/topology"
+	"deepplan/internal/trace"
 )
 
 func runPTDHA(t *testing.T) *engine.Result {
@@ -52,16 +53,18 @@ func TestWriteValidJSON(t *testing.T) {
 		t.Fatalf("otherData = %v", parsed.OtherData)
 	}
 	var exec, load, migrate int
+	pids := map[int]bool{}
 	for _, e := range parsed.TraceEvents {
 		if e["ph"] != "X" {
 			continue
 		}
+		pids[int(e["pid"].(float64))] = true
 		switch int(e["tid"].(float64)) {
-		case tidExec:
+		case trace.TIDExec:
 			exec++
-		case tidLoad:
+		case trace.TIDLoad:
 			load++
-		case tidMigrate:
+		case trace.TIDMigrate:
 			migrate++
 		}
 		if e["dur"].(float64) < 0 {
@@ -74,6 +77,49 @@ func TestWriteValidJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "embeddings.word") {
 		t.Fatal("trace missing layer names")
+	}
+	if !pids[0] || !pids[2] {
+		t.Fatalf("span pids = %v; PT+DHA with secondary GPU 2 must emit on both GPUs", pids)
+	}
+}
+
+// TestWriteSecondaryTracks pins the fix for the single-GPU blind spot: the
+// secondary GPU's PCIe copies and NVLink forwards must land under its own
+// pid, not the primary's.
+func TestWriteSecondaryTracks(t *testing.T) {
+	res := runPTDHA(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	var secLoad, secMigrate, secNamed int
+	for _, e := range parsed.TraceEvents {
+		if int(e["pid"].(float64)) != 2 {
+			continue
+		}
+		switch {
+		case e["ph"] == "X" && int(e["tid"].(float64)) == trace.TIDLoad:
+			secLoad++
+		case e["ph"] == "X" && int(e["tid"].(float64)) == trace.TIDMigrate:
+			secMigrate++
+		case e["ph"] == "M" && e["name"] == "process_name":
+			secNamed++
+		}
+	}
+	if secLoad == 0 {
+		t.Fatal("no load spans on the secondary GPU")
+	}
+	if secMigrate == 0 {
+		t.Fatal("no migrate (forward) spans on the secondary GPU")
+	}
+	if secNamed == 0 {
+		t.Fatal("secondary GPU process is unnamed")
 	}
 }
 
