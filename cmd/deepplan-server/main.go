@@ -8,11 +8,18 @@
 //	deepplan-server -policy dha -maf -duration 30m -rate 150 \
 //	    -mix bert-base:48,roberta-base:48,gpt2:12
 //	deepplan-server -policy pt+dha -instances 140 -trace run.json -telemetry
+//	deepplan-server -policy dha -instances 140 -admit 1.5 \
+//	    -faults "gpu=1@2s+3s; link=gpu0-lane*0.4@1s+4s"
 //
 // -trace writes the run's full timeline (request lifecycle, per-layer
 // streams, PCIe/NVLink bandwidth, memory occupancy) as Chrome trace-event
 // JSON for https://ui.perfetto.dev; summarize it with deepplan-trace.
 // Tracing is observation-only: results are identical with it on or off.
+//
+// -faults arms a deterministic fault-injection schedule (GPU failures,
+// PCIe link degradation, straggler transfers, host-memory pressure); the
+// same spec and seed replay byte-identically. -admit enables SLO-aware
+// admission control, shedding cold-starts projected past admit×SLO.
 package main
 
 import (
@@ -41,19 +48,31 @@ func main() {
 	mix := flag.String("mix", "", "trace deployment, e.g. bert-base:48,roberta-base:48,gpt2:12")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
 	telemetry := flag.Bool("telemetry", false, "print the per-window resource telemetry table")
+	faultSpec := flag.String("faults", "", `fault-injection schedule, e.g. "gpu=1@2s+5s; link=gpu0-lane*0.3@1s+10s; rand=7/3@60s"`)
+	admit := flag.Float64("admit", 0, "SLO-aware admission: shed cold-starts projected over admit*SLO (0 disables)")
 	flag.Parse()
 
 	var rec *deepplan.TraceRecorder
 	if *tracePath != "" {
 		rec = deepplan.NewTraceRecorder()
 	}
+	var sched *deepplan.FaultSchedule
+	if *faultSpec != "" {
+		var err error
+		if sched, err = deepplan.ParseFaults(*faultSpec); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("faults armed:  %s\n", sched)
+	}
 	platform := deepplan.NewP38xlarge()
 	srv, err := platform.NewServer(deepplan.ServerOptions{
-		Policy:    deepplan.Mode(*policy),
-		SLO:       deepplan.Duration(*sloMs) * sim.Millisecond,
-		MaxBatch:  *maxBatch,
-		Trace:     rec,
-		Telemetry: *telemetry,
+		Policy:      deepplan.Mode(*policy),
+		SLO:         deepplan.Duration(*sloMs) * sim.Millisecond,
+		MaxBatch:    *maxBatch,
+		Trace:       rec,
+		Telemetry:   *telemetry,
+		Faults:      sched,
+		AdmitFactor: *admit,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -119,6 +138,10 @@ func main() {
 	if rep.Relocations > 0 || rep.PTFallbacks > 0 {
 		fmt.Printf("rebalancing:   %d relocations, %d PT fallbacks\n",
 			rep.Relocations, rep.PTFallbacks)
+	}
+	if *faultSpec != "" {
+		fmt.Printf("faults:        %d GPU failures; %d retried, %d shed, %d completed degraded\n",
+			rep.GPUFailures, rep.Retried, rep.Shed, rep.Degraded)
 	}
 
 	if *maf {

@@ -38,6 +38,7 @@ import (
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/engine"
+	"deepplan/internal/faults"
 	"deepplan/internal/metrics"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
@@ -83,7 +84,16 @@ type (
 	TraceRecorder = trace.Recorder
 	// TelemetryStat is one window of the resource telemetry snapshot.
 	TelemetryStat = metrics.TelemetryStat
+	// FaultSchedule is a deterministic fault-injection schedule for
+	// ServerOptions.Faults. Build one with ParseFaults.
+	FaultSchedule = faults.Schedule
 )
+
+// ParseFaults parses a fault-injection spec like
+// "gpu=1@2s+5s; link=gpu0-lane*0.3@1s+10s; straggler=copy/4@0s+20s;
+// mem=0.5@5s+5s; rand=7/3@60s" into a schedule for ServerOptions.Faults.
+// See the faults package documentation for the full grammar.
+func ParseFaults(spec string) (*FaultSchedule, error) { return faults.Parse(spec) }
 
 // NewTraceRecorder returns an enabled trace recorder for ServerOptions.Trace.
 // A nil *TraceRecorder disables tracing at zero cost.
@@ -272,6 +282,16 @@ type ServerOptions struct {
 	Trace *TraceRecorder
 	// Telemetry enables the windowed resource snapshot in Report.Telemetry.
 	Telemetry bool
+	// Faults, when non-nil, arms a deterministic fault-injection schedule:
+	// GPU failures abort in-flight runs (affected requests are retried once
+	// on a surviving GPU), placements avoid down GPUs, and link, straggler,
+	// and memory-pressure events degrade the simulated fabric. Build with
+	// ParseFaults. Nil runs exactly as before faults existed.
+	Faults *FaultSchedule
+	// AdmitFactor, when positive, sheds cold-start requests whose projected
+	// latency exceeds AdmitFactor×SLO (SLO-aware admission control). Zero
+	// disables admission control, the paper's setting.
+	AdmitFactor float64
 }
 
 // Server is a simulated multi-GPU inference server.
@@ -284,14 +304,16 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		policy = serving.PolicyPTDHA
 	}
 	return serving.New(serving.Config{
-		Topo:      p.build(),
-		Cost:      p.cost,
-		Policy:    policy,
-		SLO:       opts.SLO,
-		Batch:     opts.Batch,
-		MaxBatch:  opts.MaxBatch,
-		Trace:     opts.Trace,
-		Telemetry: opts.Telemetry,
+		Topo:        p.build(),
+		Cost:        p.cost,
+		Policy:      policy,
+		SLO:         opts.SLO,
+		Batch:       opts.Batch,
+		MaxBatch:    opts.MaxBatch,
+		Trace:       opts.Trace,
+		Telemetry:   opts.Telemetry,
+		Faults:      opts.Faults,
+		AdmitFactor: opts.AdmitFactor,
 	})
 }
 

@@ -1,0 +1,67 @@
+// Faults example: serving through a GPU failure. A four-GPU server runs a
+// steady BERT-Base workload while GPU 1 dies for 1.5 seconds and a PCIe lane
+// degrades; SLO-aware admission control sheds the cold-starts that can no
+// longer make their deadline. Compare how each policy rides out the same
+// deterministic failure schedule — and note that every number here is
+// byte-reproducible: same spec, same seed, same report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepplan"
+)
+
+func main() {
+	const (
+		rate      = 100.0
+		requests  = 400
+		instances = 140
+		sloMs     = 100
+		spec      = "gpu=1@1s+1500ms; link=gpu0-lane*0.4@500ms+2s"
+	)
+	sched, err := deepplan.ParseFaults(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := deepplan.NewP38xlarge()
+
+	fmt.Printf("serving %s at %.0f rps, SLO %d ms\nfaults: %s\n\n",
+		model.Name, rate, sloMs, sched)
+	fmt.Printf("%-12s %9s %9s %6s %8s %9s\n",
+		"policy", "p99(ms)", "goodput", "shed", "retried", "degraded")
+	for _, policy := range []deepplan.Mode{
+		deepplan.ModePipeSwitch, deepplan.ModeDHA, deepplan.ModePTDHA,
+	} {
+		srv, err := platform.NewServer(deepplan.ServerOptions{
+			Policy:      policy,
+			SLO:         deepplan.Duration(sloMs) * 1e6,
+			Faults:      sched,
+			AdmitFactor: 1.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Deploy(model, instances); err != nil {
+			log.Fatal(err)
+		}
+		srv.Warmup()
+		rep, err := srv.Run(deepplan.PoissonWorkload(42, rate, requests, instances))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.1f %8.1f%% %6d %8d %9d\n",
+			policy, rep.P99.Seconds()*1e3, rep.Goodput*100,
+			rep.Shed, rep.Retried, rep.Degraded)
+	}
+	fmt.Println()
+	fmt.Println("every policy sees the identical failure; requests in flight on the dead")
+	fmt.Println("GPU are retried once on a survivor, placements avoid it until recovery,")
+	fmt.Println("and admission sheds cold-starts projected past 1.5x the SLO. DeepPlan's")
+	fmt.Println("faster cold path recovers the evicted instances sooner than PipeSwitch.")
+}

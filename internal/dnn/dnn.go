@@ -49,6 +49,7 @@ var kindNames = [...]string{
 	Attention: "Attn",
 }
 
+// String returns the short layer-kind mnemonic used in plan excerpts.
 func (k Kind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {
 		return fmt.Sprintf("Kind(%d)", int(k))

@@ -41,6 +41,12 @@ type Config struct {
 	// (secondary-partition copies land on the secondary's tracks).
 	// Recording is observation-only and never perturbs the simulation.
 	Trace *trace.Recorder
+	// Failable enables FailGPU/RecoverGPU: the engine tracks every active
+	// run's cancellable blocking points so a GPU failure can abort its runs
+	// mid-flight. Off (the default) the engine allocates no tracking state
+	// and behaves byte-identically to a failable engine that never fails a
+	// GPU — fault support is observation-free until a fault actually fires.
+	Failable bool
 }
 
 // gpuStreams is the per-device stream set.
@@ -58,6 +64,11 @@ type Engine struct {
 	cost  *costmodel.Params
 	trace *trace.Recorder
 	gpus  []gpuStreams
+
+	// Fault state, populated only when Config.Failable is set.
+	failable bool
+	failed   []bool
+	active   []*runState
 }
 
 // New returns an Engine over the given substrate.
@@ -65,7 +76,11 @@ func New(cfg Config) *Engine {
 	if cfg.Sim == nil || cfg.Net == nil || cfg.Topo == nil || cfg.Cost == nil {
 		panic("engine: incomplete config")
 	}
-	e := &Engine{sim: cfg.Sim, net: cfg.Net, topo: cfg.Topo, cost: cfg.Cost, trace: cfg.Trace}
+	e := &Engine{sim: cfg.Sim, net: cfg.Net, topo: cfg.Topo, cost: cfg.Cost, trace: cfg.Trace,
+		failable: cfg.Failable}
+	if cfg.Failable {
+		e.failed = make([]bool, cfg.Topo.NumGPUs())
+	}
 	for i := 0; i < cfg.Topo.NumGPUs(); i++ {
 		e.gpus = append(e.gpus, gpuStreams{
 			exec:      stream.New(cfg.Sim, fmt.Sprintf("gpu%d/exec", i)),
@@ -135,7 +150,11 @@ type Result struct {
 	// attribute per-partition load/migrate work to the right GPU.
 	Secondaries []int
 	Warm        bool
-	Submitted   sim.Time
+	// Aborted marks a run cut short by a GPU failure: Finish is the abort
+	// instant, Timings cover only completed work, and no trace is emitted.
+	// The serving layer retries aborted requests on a surviving GPU.
+	Aborted   bool
+	Submitted sim.Time
 	// ExecBegin is when the execution stream reached this run's first layer
 	// (queueing behind earlier runs excluded from stalls).
 	ExecBegin sim.Time
@@ -178,6 +197,9 @@ func (e *Engine) Start(spec Spec) error {
 	if spec.Primary < 0 || spec.Primary >= len(e.gpus) {
 		return fmt.Errorf("engine: primary GPU %d out of range", spec.Primary)
 	}
+	if e.failable && e.failed[spec.Primary] {
+		return fmt.Errorf("engine: primary GPU %d is failed", spec.Primary)
+	}
 	want := spec.Plan.NumParts - 1
 	if spec.Warm {
 		want = 0 // nothing is transmitted on a warm run
@@ -192,6 +214,9 @@ func (e *Engine) Start(spec Spec) error {
 		}
 		if !e.topo.HasNVLink(s, spec.Primary) {
 			return fmt.Errorf("engine: no NVLink from GPU %d to primary %d", s, spec.Primary)
+		}
+		if e.failable && e.failed[s] {
+			return fmt.Errorf("engine: secondary GPU %d is failed", s)
 		}
 	}
 	if spec.ResidentMask != nil && len(spec.ResidentMask) != spec.Model.NumLayers() {
@@ -217,6 +242,159 @@ func resident(spec *Spec, i int) bool {
 type runState struct {
 	res       *Result
 	remaining int
+
+	// Fault-abort bookkeeping, used only on failable engines. aborted makes
+	// every not-yet-started task of the run a no-op; awaits holds the run's
+	// in-flight blocking points so an abort can cancel them; index is the
+	// run's slot in Engine.active (-1 once finished or aborted); onDone is
+	// the spec's completion callback, also invoked (with res.Aborted set)
+	// when the run aborts.
+	aborted bool
+	awaits  []*await
+	index   int
+	onDone  func(*Result)
+}
+
+// await is one cancellable blocking point of a run: a pending timer, an
+// in-flight network flow, or both in sequence. done is the owning stream
+// task's completion callback; cancel undoes whatever is pending. Exactly one
+// of the normal completion (via settle) and the abort path (abortRun) runs.
+type await struct {
+	settled bool
+	done    func()
+	cancel  func()
+}
+
+// newAwait registers a blocking point for rs. It returns nil on a
+// non-failable engine, keeping the common path allocation-free; settle and
+// the cancel-wiring guards below are nil-safe.
+func (e *Engine) newAwait(rs *runState, done func()) *await {
+	if !e.failable {
+		return nil
+	}
+	aw := &await{done: done}
+	rs.awaits = append(rs.awaits, aw)
+	return aw
+}
+
+// settle runs fn, a task's normal completion, unless the await was already
+// aborted. Marking the await settled also tells a later abort to skip it —
+// in particular never to cancel its (recycled) timer event.
+func settle(aw *await, fn func()) {
+	if aw != nil {
+		if aw.settled {
+			return
+		}
+		aw.settled = true
+	}
+	fn()
+}
+
+// track adds rs to the active-run registry (failable engines only).
+func (e *Engine) track(rs *runState) {
+	rs.index = len(e.active)
+	e.active = append(e.active, rs)
+}
+
+// untrack removes rs from the registry by swapping the last entry into its
+// slot. Registry order is not meaningful; abort order is still deterministic
+// because the registry's history is itself a pure function of the event
+// sequence.
+func (e *Engine) untrack(rs *runState) {
+	i := rs.index
+	if i < 0 {
+		return
+	}
+	last := len(e.active) - 1
+	e.active[i] = e.active[last]
+	e.active[i].index = i
+	e.active[last] = nil
+	e.active = e.active[:last]
+	rs.index = -1
+}
+
+// FailGPU takes a GPU out of service: every active run using it as primary
+// or secondary aborts immediately (its OnDone fires with Result.Aborted
+// set), and Start rejects new runs on it until RecoverGPU. It panics on a
+// non-failable engine — fault injection requires Config.Failable so that
+// fault-free simulations never pay for the tracking state.
+func (e *Engine) FailGPU(gpu int) {
+	if !e.failable {
+		panic("engine: FailGPU on an engine without Config.Failable")
+	}
+	if gpu < 0 || gpu >= len(e.gpus) {
+		panic(fmt.Sprintf("engine: FailGPU(%d) out of range", gpu))
+	}
+	if e.failed[gpu] {
+		return
+	}
+	e.failed[gpu] = true
+	// Collect first: aborting mutates the registry, and an abort's OnDone
+	// may even start new (retried) runs.
+	var victims []*runState
+	for _, rs := range e.active {
+		if rs.res.Primary == gpu {
+			victims = append(victims, rs)
+			continue
+		}
+		for _, s := range rs.res.Secondaries {
+			if s == gpu {
+				victims = append(victims, rs)
+				break
+			}
+		}
+	}
+	for _, rs := range victims {
+		e.abortRun(rs)
+	}
+}
+
+// RecoverGPU returns a failed GPU to service. In-flight state needs no
+// repair: the failure already aborted the GPU's runs and its streams were
+// drained by the abort.
+func (e *Engine) RecoverGPU(gpu int) {
+	if !e.failable {
+		panic("engine: RecoverGPU on an engine without Config.Failable")
+	}
+	if gpu < 0 || gpu >= len(e.gpus) {
+		panic(fmt.Sprintf("engine: RecoverGPU(%d) out of range", gpu))
+	}
+	e.failed[gpu] = false
+}
+
+// GPUFailed reports whether a GPU is currently out of service.
+func (e *Engine) GPUFailed(gpu int) bool {
+	return e.failable && gpu >= 0 && gpu < len(e.failed) && e.failed[gpu]
+}
+
+// abortRun cancels every in-flight blocking point of rs and completes the
+// run as aborted. Cancelled stream tasks call their done() so the streams
+// keep draining: queued tasks of the aborted run see rs.aborted and pass
+// through instantly, Record tasks still fire their events, and therefore no
+// Wait on any stream can hang on an aborted producer.
+func (e *Engine) abortRun(rs *runState) {
+	if rs.aborted || rs.index < 0 {
+		return
+	}
+	rs.aborted = true
+	e.untrack(rs)
+	for i := 0; i < len(rs.awaits); i++ {
+		aw := rs.awaits[i]
+		if aw.settled {
+			continue
+		}
+		aw.settled = true
+		if aw.cancel != nil {
+			aw.cancel()
+		}
+		aw.done()
+	}
+	rs.res.Aborted = true
+	rs.res.Finish = e.sim.Now()
+	e.finalize(rs.res)
+	if rs.onDone != nil {
+		rs.onDone(rs.res)
+	}
 }
 
 func (e *Engine) schedule(spec Spec, batch int) {
@@ -234,7 +412,10 @@ func (e *Engine) schedule(spec Spec, batch int) {
 		Warm:        spec.Warm,
 		Submitted:   e.sim.Now(),
 		Timings:     make([]LayerTiming, m.NumLayers()),
-	}}
+	}, index: -1, onDone: spec.OnDone}
+	if e.failable {
+		e.track(rs)
+	}
 	for i := range rs.res.Timings {
 		rs.res.Timings[i] = LayerTiming{
 			Index:     i,
@@ -263,14 +444,14 @@ func (e *Engine) schedule(spec Spec, batch int) {
 		}
 		arrive := stream.NewEvent()
 		if lp.Partition == 0 {
-			e.submitCopy(primary.load, hostPath, bytes, t)
+			e.submitCopy(rs, primary.load, hostPath, bytes, t)
 			primary.load.Record(arrive)
 			arrive.OnFire(func() { t.AvailAt = arrive.FiredAt() })
 		} else {
 			secID := spec.Secondaries[lp.Partition-1]
 			sec := e.gpus[secID]
 			landed := stream.NewEvent()
-			e.submitCopy(sec.load, e.topo.HostToGPUPath(secID), bytes, t)
+			e.submitCopy(rs, sec.load, e.topo.HostToGPUPath(secID), bytes, t)
 			sec.load.Record(landed)
 			// Forward over NVLink once landed on the secondary.
 			nvPath, _ := e.topo.GPUToGPUPath(secID, spec.Primary)
@@ -279,7 +460,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 				spec.PCM.AddNVLink(bytes)
 			}
 			sec.migration.Wait(landed)
-			e.submitNVLinkCopy(sec.migration, nvPath, bytes)
+			e.submitNVLinkCopy(rs, sec.migration, nvPath, bytes)
 			sec.migration.Record(arrive)
 			arrive.OnFire(func() { t.AvailAt = arrive.FiredAt() })
 		}
@@ -319,20 +500,36 @@ func (e *Engine) schedule(spec Spec, batch int) {
 			}
 			lo, hi := i, j
 			primary.exec.Submit("exec-seg:"+m.Layers[lo].Name, func(done func()) {
+				if rs.aborted {
+					done()
+					return
+				}
 				segStart := e.sim.Now()
 				rs.res.Timings[lo].Stall = segStart.Sub(prevDone)
-				e.sim.After(total, func() {
-					// Attribute per-layer windows inside the segment.
-					at := segStart
-					for k := lo; k < hi; k++ {
-						tk := &rs.res.Timings[k]
-						tk.ExecStart = at
-						at = at.Add(e.cost.ComputeTime(&m.Layers[k], batch))
-						tk.ExecDone = at
-					}
-					prevDone = e.sim.Now()
-					done()
+				aw := e.newAwait(rs, done)
+				var timer *sim.Event
+				timer = e.sim.After(total, func() {
+					timer = nil
+					settle(aw, func() {
+						// Attribute per-layer windows inside the segment.
+						at := segStart
+						for k := lo; k < hi; k++ {
+							tk := &rs.res.Timings[k]
+							tk.ExecStart = at
+							at = at.Add(e.cost.ComputeTime(&m.Layers[k], batch))
+							tk.ExecDone = at
+						}
+						prevDone = e.sim.Now()
+						done()
+					})
 				})
+				if aw != nil {
+					aw.cancel = func() {
+						if timer != nil {
+							e.sim.Cancel(timer)
+						}
+					}
+				}
 			})
 			i = j
 			continue
@@ -360,8 +557,15 @@ func (e *Engine) schedule(spec Spec, batch int) {
 			}
 			compute := e.cost.ComputeTime(l, batch)
 			primary.exec.Submit("dha:"+l.Name, func(done func()) {
+				if rs.aborted {
+					done()
+					return
+				}
 				t.ExecStart = e.sim.Now()
 				t.Stall = t.ExecStart.Sub(prevDone)
+				aw := e.newAwait(rs, done)
+				var fl *simnet.Flow
+				var computeTimer, tailTimer *sim.Event
 				pending := 2
 				finish := func() {
 					pending--
@@ -369,61 +573,135 @@ func (e *Engine) schedule(spec Spec, batch int) {
 						return
 					}
 					// The fixed DHA penalty lands after compute and reads.
-					e.sim.After(e.cost.DHAFixedOverhead, func() {
-						t.ExecDone = e.sim.Now()
-						prevDone = t.ExecDone
-						done()
+					tailTimer = e.sim.After(e.cost.DHAFixedOverhead, func() {
+						tailTimer = nil
+						settle(aw, func() {
+							t.ExecDone = e.sim.Now()
+							prevDone = t.ExecDone
+							done()
+						})
 					})
 				}
-				e.net.StartFlow("dha:"+l.Name, hostPath, dhaBytes, func(sim.Time) { finish() })
-				e.sim.After(compute, finish)
+				fl = e.net.StartFlow("dha:"+l.Name, hostPath, dhaBytes, func(sim.Time) { finish() })
+				computeTimer = e.sim.After(compute, func() {
+					computeTimer = nil
+					finish()
+				})
+				if aw != nil {
+					aw.cancel = func() {
+						e.net.Abort(fl) // no-op if the reads already finished
+						if computeTimer != nil {
+							e.sim.Cancel(computeTimer)
+						}
+						if tailTimer != nil {
+							e.sim.Cancel(tailTimer)
+						}
+					}
+				}
 			})
 		default:
 			compute := e.cost.ComputeTime(l, batch)
 			primary.exec.Submit("exec:"+l.Name, func(done func()) {
+				if rs.aborted {
+					done()
+					return
+				}
 				t.ExecStart = e.sim.Now()
 				t.Stall = t.ExecStart.Sub(prevDone)
-				e.sim.After(compute, func() {
-					t.ExecDone = e.sim.Now()
-					prevDone = t.ExecDone
-					done()
+				aw := e.newAwait(rs, done)
+				var timer *sim.Event
+				timer = e.sim.After(compute, func() {
+					timer = nil
+					settle(aw, func() {
+						t.ExecDone = e.sim.Now()
+						prevDone = t.ExecDone
+						done()
+					})
 				})
+				if aw != nil {
+					aw.cancel = func() {
+						if timer != nil {
+							e.sim.Cancel(timer)
+						}
+					}
+				}
 			})
 		}
 		i++
 	}
 	primary.exec.Do("finish:"+m.Name, func() {
+		if rs.aborted {
+			// abortRun already finalized and reported the run.
+			return
+		}
+		e.untrack(rs)
 		rs.res.Finish = e.sim.Now()
 		e.finalize(rs.res)
 		if e.trace != nil {
 			rs.res.EmitTrace(e.trace)
 		}
-		if spec.OnDone != nil {
-			spec.OnDone(rs.res)
+		if rs.onDone != nil {
+			rs.onDone(rs.res)
 		}
 	})
 }
 
 // submitCopy enqueues a host→GPU copy: fixed per-copy overhead, then a PCIe
 // flow. Timing is captured into t.
-func (e *Engine) submitCopy(ld *stream.Stream, path []*simnet.Link, bytes float64, t *LayerTiming) {
+func (e *Engine) submitCopy(rs *runState, ld *stream.Stream, path []*simnet.Link, bytes float64, t *LayerTiming) {
 	ld.Submit("copy:"+t.Name, func(done func()) {
+		if rs.aborted {
+			done()
+			return
+		}
 		t.LoadStart = e.sim.Now()
-		e.sim.After(sim.Duration(e.topo.PerCopyOverheadNanos), func() {
-			e.net.StartFlow("copy:"+t.Name, path, bytes, func(at sim.Time) {
-				t.LoadDone = at
-				done()
+		aw := e.newAwait(rs, done)
+		var timer *sim.Event
+		var fl *simnet.Flow
+		timer = e.sim.After(sim.Duration(e.topo.PerCopyOverheadNanos), func() {
+			timer = nil
+			fl = e.net.StartFlow("copy:"+t.Name, path, bytes, func(at sim.Time) {
+				settle(aw, func() {
+					t.LoadDone = at
+					done()
+				})
 			})
 		})
+		if aw != nil {
+			aw.cancel = func() {
+				if timer != nil {
+					e.sim.Cancel(timer)
+				}
+				e.net.Abort(fl)
+			}
+		}
 	})
 }
 
 // submitNVLinkCopy enqueues a GPU→GPU forwarding copy on a migration stream.
-func (e *Engine) submitNVLinkCopy(mig *stream.Stream, path []*simnet.Link, bytes float64) {
+func (e *Engine) submitNVLinkCopy(rs *runState, mig *stream.Stream, path []*simnet.Link, bytes float64) {
 	mig.Submit("forward", func(done func()) {
-		e.sim.After(sim.Duration(e.topo.NVLinkCopyOverheadNanos), func() {
-			e.net.StartFlow("forward", path, bytes, func(sim.Time) { done() })
+		if rs.aborted {
+			done()
+			return
+		}
+		aw := e.newAwait(rs, done)
+		var timer *sim.Event
+		var fl *simnet.Flow
+		timer = e.sim.After(sim.Duration(e.topo.NVLinkCopyOverheadNanos), func() {
+			timer = nil
+			fl = e.net.StartFlow("forward", path, bytes, func(sim.Time) {
+				settle(aw, done)
+			})
 		})
+		if aw != nil {
+			aw.cancel = func() {
+				if timer != nil {
+					e.sim.Cancel(timer)
+				}
+				e.net.Abort(fl)
+			}
+		}
 	})
 }
 

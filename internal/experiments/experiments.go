@@ -65,6 +65,7 @@ var registry = []Experiment{
 	{"fig14", "Figure 14: serving p99 for BERT-Large and GPT-2", Figure14},
 	{"fig15", "Figure 15: MAF-like trace replay (3 hours)", Figure15},
 	{"fig16", "Figure 16: speedups on 2x RTX A5000 with PCIe 4.0", Figure16},
+	{"fig-faults", "Fault injection: graceful degradation under GPU/link faults", FigFaults},
 }
 
 // All returns every experiment in presentation order.

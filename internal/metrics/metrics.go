@@ -180,6 +180,8 @@ type telemetryWindow struct {
 	evictions   int
 	relocations int
 	deferred    int
+	shed        int
+	retried     int
 	queueSum    int64
 	busy        sim.Duration
 }
@@ -193,6 +195,11 @@ type TelemetryStat struct {
 	Evictions   int
 	Relocations int
 	Deferred    int
+	// Shed counts requests dropped by the SLO admission controller or after
+	// a failed retry; Retried counts requests re-dispatched after a GPU
+	// failure aborted their run. Both stay zero without fault injection.
+	Shed    int
+	Retried int
 	// ColdRatio is ColdStarts/Requests (0 for an empty window).
 	ColdRatio float64
 	// MeanQueueDepth averages the total outstanding runs across all GPUs,
@@ -242,6 +249,12 @@ func (t *Telemetry) Relocation(at sim.Time) { t.at(at).relocations++ }
 // Deferred records a request parked on the waitlist for lack of memory.
 func (t *Telemetry) Deferred(at sim.Time) { t.at(at).deferred++ }
 
+// Shed records a request dropped by admission control or a failed retry.
+func (t *Telemetry) Shed(at sim.Time) { t.at(at).shed++ }
+
+// Retried records a request re-dispatched after a GPU failure.
+func (t *Telemetry) Retried(at sim.Time) { t.at(at).retried++ }
+
 // Busy credits one GPU with busy time over [from, to), split across the
 // windows the interval overlaps.
 func (t *Telemetry) Busy(from, to sim.Time) {
@@ -269,6 +282,8 @@ func (t *Telemetry) Stats() []TelemetryStat {
 			Evictions:    w.evictions,
 			Relocations:  w.relocations,
 			Deferred:     w.deferred,
+			Shed:         w.shed,
+			Retried:      w.retried,
 			BusyFraction: w.busy.Seconds() / capacity,
 		}
 		if w.requests > 0 {

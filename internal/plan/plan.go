@@ -23,6 +23,7 @@ const (
 	DHA
 )
 
+// String returns the method name used in plan tables ("Load" / "DHA").
 func (m Method) String() string {
 	switch m {
 	case Load:

@@ -1,16 +1,3 @@
-// Package serving implements the DL inference server of the paper's §5.3:
-// a multi-GPU server that packs more model instances than GPU memory can
-// hold, swaps inactive instances out to pinned host memory (LRU), and
-// handles cold-starts with one of the execution policies — PipeSwitch-style
-// pipelined loading, DeepPlan (DHA), or DeepPlan (PT+DHA).
-//
-// As in Clockwork (and the paper), each GPU executes one inference at a
-// time; requests to a warm instance queue on the GPU's execution stream.
-// A request to a cold instance triggers placement (evicting least-recently
-// used idle instances if needed) and is served by the cold-start run itself.
-// Under the DeepPlan policies, DHA-resident layers (e.g. embeddings) stay in
-// host memory permanently, shrinking the per-instance GPU footprint — which
-// is why DeepPlan packs more warm instances than PipeSwitch (Figure 13).
 package serving
 
 import (
@@ -20,6 +7,7 @@ import (
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/engine"
+	"deepplan/internal/faults"
 	"deepplan/internal/gpumem"
 	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
@@ -79,6 +67,21 @@ type Config struct {
 	// Telemetry enables the windowed resource snapshot (cold-start ratio,
 	// queue depth, GPU busy fraction, eviction counts) in Report.Telemetry.
 	Telemetry bool
+	// Faults, when non-nil and non-empty, arms a fault-injection schedule
+	// against this run: the engine becomes failable, GPU failures abort
+	// in-flight runs (each affected request is retried once on a surviving
+	// GPU), new placements avoid down GPUs, and link/straggler/memory events
+	// degrade the simulated fabric. A nil schedule costs nothing: the run is
+	// byte-identical to a server built before faults existed.
+	Faults *faults.Schedule
+	// AdmitFactor, when positive, enables SLO-aware admission control for
+	// cold-start requests: a request whose projected latency (queue wait on
+	// the least-loaded live GPU plus the deployment's load and execution
+	// estimates) exceeds AdmitFactor×SLO is shed immediately instead of
+	// deepening the queue. The paper's serving experiments run without
+	// admission control (zero disables it); under fault injection shedding
+	// hopeless cold-starts is what keeps the tail bounded while degraded.
+	AdmitFactor float64
 }
 
 // InstanceState is an instance's residency state.
@@ -103,7 +106,15 @@ type Instance struct {
 	inflight int
 	lastUsed sim.Time
 	// backlog holds requests coalescing for the next dynamic batch.
-	backlog []workload.Request
+	backlog []pending
+}
+
+// pending is a request threaded through dispatch with its retry count: a
+// request whose run aborts on a GPU failure is re-dispatched once with
+// attempt incremented, and shed if it fails again.
+type pending struct {
+	req     workload.Request
+	attempt int
 }
 
 // State returns the instance's residency state.
@@ -132,6 +143,13 @@ type Deployment struct {
 	// Footprint is the GPU bytes an instance occupies: plan-resident
 	// parameters plus workspace. DHA layers do not count.
 	Footprint int64
+	// LoadEst and ExecEst are the admission controller's cost estimates,
+	// computed once at Deploy time from the cost model: the serial cold-load
+	// time over an uncontended lane, and the warm execution time. They are
+	// deliberately optimistic (no contention) so admission only sheds
+	// requests that cannot meet the latency budget even on an idle server.
+	LoadEst sim.Duration
+	ExecEst sim.Duration
 }
 
 type gpuState struct {
@@ -141,6 +159,9 @@ type gpuState struct {
 	queued         int // outstanding inference runs
 	activeColds    int
 	secondaryColds int
+	// down marks the GPU failed by fault injection: placement, relocation,
+	// and secondary selection all skip it until recovery.
+	down bool
 	// busySince is the instant queued last went 0→1; meaningful only while
 	// queued > 0 and only when telemetry is enabled.
 	busySince sim.Time
@@ -148,7 +169,7 @@ type gpuState struct {
 
 type waiting struct {
 	inst *Instance
-	req  workload.Request
+	p    pending
 }
 
 // Server is the simulated inference server.
@@ -166,6 +187,7 @@ type Server struct {
 
 	rec      *trace.Recorder    // nil when tracing is off
 	tel      *metrics.Telemetry // nil when telemetry is off
+	inj      *faults.Injector   // nil when no fault schedule is armed
 	traceSeq int64              // request ids for async lifecycle spans
 
 	digest          metrics.Digest
@@ -177,6 +199,10 @@ type Server struct {
 	batchedRuns     int
 	batchedRequests int
 	deferred        int // requests that had to wait for memory
+	shed            int // requests dropped by admission or a failed retry
+	retried         int // requests re-dispatched after a GPU failure
+	degraded        int // requests completed while a fault window was open
+	gpuFailures     int
 	waitlist        []waiting
 	completed       int
 }
@@ -207,6 +233,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WindowWidth <= 0 {
 		cfg.WindowWidth = sim.Second * 60
 	}
+	if cfg.AdmitFactor < 0 {
+		return nil, fmt.Errorf("serving: AdmitFactor must be non-negative, got %g", cfg.AdmitFactor)
+	}
 	s := sim.New()
 	net := simnet.New(s)
 	srv := &Server{
@@ -215,6 +244,7 @@ func New(cfg Config) (*Server, error) {
 		net: net,
 		eng: engine.New(engine.Config{
 			Sim: s, Net: net, Topo: cfg.Topo, Cost: cfg.Cost, Trace: cfg.Trace,
+			Failable: !cfg.Faults.Empty(),
 		}),
 		pl:          planner.New(cfg.Topo),
 		host:        hostmem.NewStore(cfg.HostMemory),
@@ -237,7 +267,72 @@ func New(cfg Config) (*Server, error) {
 			residents: map[*Instance]bool{},
 		})
 	}
+	if !cfg.Faults.Empty() {
+		inj, err := faults.Install(s, net, cfg.Topo, cfg.Faults, faults.Hooks{
+			GPUDown: srv.onGPUDown,
+			GPUUp:   srv.onGPUUp,
+			OnEvent: srv.onFaultEvent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv.inj = inj
+	}
 	return srv, nil
+}
+
+// onFaultEvent records fault window transitions onto the trace timeline.
+func (srv *Server) onFaultEvent(e faults.Event, active bool) {
+	if srv.rec == nil {
+		return
+	}
+	name := "fault-clear " + e.Kind.String()
+	if active {
+		name = "fault " + e.Kind.String()
+	}
+	srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "faults", name,
+		srv.sim.Now(), map[string]any{"event": e.Kind.String(), "active": active})
+}
+
+// onGPUDown reacts to an injected GPU failure: the device's residents are
+// force-evicted (device memory does not survive), placement starts avoiding
+// it, and every in-flight run using it aborts — each aborted request is then
+// retried once on a surviving GPU via the normal dispatch path.
+func (srv *Server) onGPUDown(id int) {
+	gs := srv.gpus[id]
+	if gs.down {
+		return
+	}
+	gs.down = true
+	srv.gpuFailures++
+	if srv.rec != nil {
+		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "faults",
+			"gpu-fail", srv.sim.Now(), map[string]any{"gpu": id})
+	}
+	victims := make([]*Instance, 0, len(gs.residents))
+	// deterministic: victims are collected and sorted by ID before use.
+	for inst := range gs.residents {
+		victims = append(victims, inst)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	for _, inst := range victims {
+		srv.evict(inst)
+	}
+	// Abort in-flight runs last: their OnDone callbacks re-dispatch the
+	// aborted requests, and by now placement already avoids this GPU.
+	srv.eng.FailGPU(id)
+}
+
+// onGPUUp returns a recovered GPU to service and retries any parked work.
+func (srv *Server) onGPUUp(id int) {
+	gs := srv.gpus[id]
+	gs.down = false
+	srv.eng.RecoverGPU(id)
+	if srv.rec != nil {
+		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "faults",
+			"gpu-recover", srv.sim.Now(), map[string]any{"gpu": id})
+	}
+	srv.drainWaitlist()
 }
 
 // Deploy profiles and plans a model under the server's policy (a one-time
@@ -273,6 +368,9 @@ func (srv *Server) Deploy(model *dnn.Model, count int) error {
 			Plan:      p,
 			Fallback:  fb,
 			Footprint: p.ResidentBytes(model) + srv.cfg.Cost.Workspace(model, srv.cfg.Batch),
+			LoadEst: srv.cfg.Cost.ModelLoadTime(model, srv.cfg.Topo.LaneBandwidth(),
+				sim.Duration(srv.cfg.Topo.PerCopyOverheadNanos)),
+			ExecEst: srv.cfg.Cost.ModelExecTime(model, srv.cfg.Batch),
 		}
 		srv.deployments[model.Name] = dep
 	}
@@ -361,17 +459,25 @@ func (srv *Server) Run(requests []workload.Request) (*Report, error) {
 		srv.sim.At(req.At, func() { srv.handle(req) })
 	}
 	srv.sim.Run()
-	if srv.completed != len(requests) {
-		return nil, fmt.Errorf("serving: %d of %d requests completed", srv.completed, len(requests))
+	if srv.completed+srv.shed != len(requests) {
+		return nil, fmt.Errorf("serving: %d of %d requests completed (%d shed)",
+			srv.completed, len(requests), srv.shed)
 	}
 	return srv.report(len(requests)), nil
 }
 
 // handle routes one arrival.
 func (srv *Server) handle(req workload.Request) {
-	inst := srv.instances[req.Instance]
+	srv.dispatch(pending{req: req})
+}
+
+// dispatch routes one request attempt: fresh arrivals and post-failure
+// retries take the same path, so a retried request re-enters placement,
+// relocation, and batching exactly like a new one.
+func (srv *Server) dispatch(p pending) {
+	inst := srv.instances[p.req.Instance]
 	inst.lastUsed = srv.sim.Now()
-	if srv.tel != nil {
+	if srv.tel != nil && p.attempt == 0 {
 		depth := 0
 		for _, g := range srv.gpus {
 			depth += g.queued
@@ -396,8 +502,11 @@ func (srv *Server) handle(req workload.Request) {
 		}
 	}
 	if inst.state == Warm {
-		srv.startWarm(inst, req)
+		srv.startWarm(inst, p)
 		return
+	}
+	if !srv.admit(inst, p) {
+		return // shed by the SLO admission controller
 	}
 	if !srv.place(inst) {
 		// No memory can be freed right now (every resident instance is
@@ -411,10 +520,83 @@ func (srv *Server) handle(req workload.Request) {
 		if srv.tel != nil {
 			srv.tel.Deferred(srv.sim.Now())
 		}
-		srv.waitlist = append(srv.waitlist, waiting{inst, req})
+		srv.waitlist = append(srv.waitlist, waiting{inst, p})
 		return
 	}
-	srv.startCold(inst, req)
+	srv.startCold(inst, p)
+}
+
+// admit applies SLO-aware admission control to a cold-start attempt: the
+// projected latency is the queue wait on the least-loaded live GPU (each
+// queued run costing one warm execution) plus the deployment's uncontended
+// load and execution estimates. Exceeding AdmitFactor×SLO sheds the request
+// — serving it would burst PCIe traffic for an answer nobody is waiting for,
+// slowing every request that could still meet its deadline. Returns true to
+// proceed. Warm requests are never shed: their marginal cost is one
+// execution, not a model load.
+func (srv *Server) admit(inst *Instance, p pending) bool {
+	if srv.cfg.AdmitFactor <= 0 {
+		return true
+	}
+	budget := sim.Duration(srv.cfg.AdmitFactor * float64(srv.cfg.SLO))
+	projected := inst.dep.LoadEst + inst.dep.ExecEst +
+		sim.Duration(srv.minQueuedAlive())*inst.dep.ExecEst
+	if projected <= budget {
+		return true
+	}
+	srv.shedRequest(inst, p, "admission")
+	return false
+}
+
+// minQueuedAlive returns the shortest run queue among live GPUs (0 when
+// every GPU is down; placement fails separately in that case).
+func (srv *Server) minQueuedAlive() int {
+	min := -1
+	for _, g := range srv.gpus {
+		if g.down {
+			continue
+		}
+		if min < 0 || g.queued < min {
+			min = g.queued
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// shedRequest drops a request permanently, counting it toward Report.Shed.
+func (srv *Server) shedRequest(inst *Instance, p pending, why string) {
+	srv.shed++
+	if srv.tel != nil {
+		srv.tel.Shed(srv.sim.Now())
+	}
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"shed "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID, "attempt": p.attempt, "why": why})
+	}
+}
+
+// retryOrShed handles a request whose run was aborted by a GPU failure:
+// first failure re-dispatches it (once) through the normal path, which now
+// avoids the failed GPU; a second failure sheds it.
+func (srv *Server) retryOrShed(inst *Instance, p pending) {
+	if p.attempt >= 1 {
+		srv.shedRequest(inst, p, "retry-failed")
+		return
+	}
+	srv.retried++
+	if srv.tel != nil {
+		srv.tel.Retried(srv.sim.Now())
+	}
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"retry "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID})
+	}
+	srv.dispatch(pending{req: p.req, attempt: p.attempt + 1})
 }
 
 // busyUp marks one more outstanding run on gs, starting the busy clock on
@@ -455,6 +637,9 @@ func (srv *Server) shouldRelocate(inst *Instance) bool {
 	}
 	min := cur
 	for _, g := range srv.gpus {
+		if g.down {
+			continue // a failed GPU's empty queue is not a relocation target
+		}
 		if g.queued < min {
 			min = g.queued
 		}
@@ -476,6 +661,9 @@ func (srv *Server) place(inst *Instance) bool {
 		return order[i].mem.Available() > order[j].mem.Available()
 	})
 	for _, gs := range order {
+		if gs.down {
+			continue
+		}
 		if srv.makeRoom(gs, need) {
 			blk, err := gs.mem.Alloc(need, inst.dep.Model.Name)
 			if err != nil {
@@ -544,7 +732,7 @@ func (srv *Server) evict(inst *Instance) {
 }
 
 // startCold launches the cold-start run that also serves the request.
-func (srv *Server) startCold(inst *Instance, req workload.Request) {
+func (srv *Server) startCold(inst *Instance, p pending) {
 	srv.coldStarts++
 	gs := srv.gpus[inst.gpu]
 	srv.busyUp(gs)
@@ -559,9 +747,13 @@ func (srv *Server) startCold(inst *Instance, req workload.Request) {
 	var secondary *gpuState
 	if coldPlan.NumParts > 1 {
 		secondary = srv.pickSecondary(inst.gpu)
-		if secondary.activeColds+secondary.secondaryColds > 0 && inst.dep.Fallback != nil {
-			// Every transmission partner is mid-load: degrade to the
-			// single-GPU variant instead of convoying behind its copies.
+		busy := secondary != nil && secondary.activeColds+secondary.secondaryColds > 0
+		if secondary == nil || (busy && inst.dep.Fallback != nil) {
+			// Every transmission partner is mid-load (or down): degrade to
+			// the single-GPU variant instead of convoying behind its copies.
+			if inst.dep.Fallback == nil {
+				panic(fmt.Sprintf("serving: PT plan on GPU %d with no usable partner and no fallback", inst.gpu))
+			}
 			secondary = nil
 			coldPlan = inst.dep.Fallback
 			srv.ptFallbacks++
@@ -594,7 +786,19 @@ func (srv *Server) startCold(inst *Instance, req workload.Request) {
 			if secondary != nil {
 				secondary.secondaryColds--
 			}
-			srv.record(req, res, true)
+			if res.Aborted {
+				// A GPU failure cut the load short. If the instance still
+				// holds residency (the failed device was the secondary), the
+				// partially loaded weights are useless — evict so the retry
+				// performs a full cold start on a surviving GPU.
+				if inst.state == Warm {
+					srv.evict(inst)
+				}
+				srv.retryOrShed(inst, p)
+				srv.drainWaitlist()
+				return
+			}
+			srv.record(p.req, res, true)
 			srv.drainWaitlist()
 		},
 	}
@@ -607,16 +811,16 @@ func (srv *Server) startCold(inst *Instance, req workload.Request) {
 // is still loading, the run naturally queues behind the cold-start on the
 // execution stream. With dynamic batching enabled, requests arriving while
 // the instance is busy coalesce into its backlog instead.
-func (srv *Server) startWarm(inst *Instance, req workload.Request) {
+func (srv *Server) startWarm(inst *Instance, p pending) {
 	if srv.cfg.MaxBatch > 1 && inst.inflight > 0 {
-		inst.backlog = append(inst.backlog, req)
+		inst.backlog = append(inst.backlog, p)
 		return
 	}
-	srv.startWarmBatch(inst, []workload.Request{req})
+	srv.startWarmBatch(inst, []pending{p})
 }
 
 // startWarmBatch issues one (possibly batched) warm inference.
-func (srv *Server) startWarmBatch(inst *Instance, reqs []workload.Request) {
+func (srv *Server) startWarmBatch(inst *Instance, reqs []pending) {
 	gs := srv.gpus[inst.gpu]
 	srv.busyUp(gs)
 	inst.inflight++
@@ -638,8 +842,20 @@ func (srv *Server) startWarmBatch(inst *Instance, reqs []workload.Request) {
 		OnDone: func(res *engine.Result) {
 			inst.inflight--
 			srv.busyDown(gs)
+			if res.Aborted {
+				// The GPU failed under this batch. Re-dispatch the batch and
+				// anything coalesced behind it; the instance itself has
+				// already been evicted by the failure handler.
+				victims := append(reqs, inst.backlog...)
+				inst.backlog = nil
+				for _, v := range victims {
+					srv.retryOrShed(inst, v)
+				}
+				srv.drainWaitlist()
+				return
+			}
 			for _, r := range reqs {
-				srv.record(r, res, false)
+				srv.record(r.req, res, false)
 			}
 			srv.releaseBacklog(inst)
 			srv.drainWaitlist()
@@ -665,16 +881,20 @@ func (srv *Server) releaseBacklog(inst *Instance) {
 	srv.startWarmBatch(inst, batch)
 }
 
-// pickSecondary chooses the least-busy parallel-transmission partner.
+// pickSecondary chooses the least-busy parallel-transmission partner,
+// skipping failed GPUs. It returns nil when every partner is down.
 func (srv *Server) pickSecondary(primary int) *gpuState {
 	partners := srv.cfg.Topo.ParallelPartners(primary)
 	if len(partners) == 0 {
 		panic(fmt.Sprintf("serving: PT plan on GPU %d without partners", primary))
 	}
-	best := srv.gpus[partners[0]]
-	for _, id := range partners[1:] {
+	var best *gpuState
+	for _, id := range partners {
 		g := srv.gpus[id]
-		if g.activeColds+g.secondaryColds < best.activeColds+best.secondaryColds {
+		if g.down {
+			continue
+		}
+		if best == nil || g.activeColds+g.secondaryColds < best.activeColds+best.secondaryColds {
 			best = g
 		}
 	}
@@ -686,6 +906,9 @@ func (srv *Server) record(req workload.Request, res *engine.Result, cold bool) {
 	srv.digest.Add(lat)
 	srv.series.Record(req.At, lat, cold)
 	srv.completed++
+	if srv.inj != nil && srv.inj.Active() > 0 {
+		srv.degraded++
+	}
 	if srv.rec != nil {
 		// One async row per request: an outer span covering the whole
 		// lifetime with the latency breakdown attached to its begin event
@@ -721,20 +944,20 @@ func (srv *Server) drainWaitlist() {
 	if len(srv.waitlist) == 0 {
 		return
 	}
-	pending := srv.waitlist
+	parked := srv.waitlist
 	srv.waitlist = nil
 	if srv.rec != nil {
 		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
 			"drain waitlist", srv.sim.Now(),
-			map[string]any{"pending": len(pending)})
+			map[string]any{"pending": len(parked)})
 	}
-	for _, w := range pending {
+	for _, w := range parked {
 		if w.inst.state == Warm {
-			srv.startWarm(w.inst, w.req)
+			srv.startWarm(w.inst, w.p)
 			continue
 		}
 		if srv.place(w.inst) {
-			srv.startCold(w.inst, w.req)
+			srv.startCold(w.inst, w.p)
 		} else {
 			srv.waitlist = append(srv.waitlist, w)
 		}
@@ -835,8 +1058,19 @@ type Report struct {
 	BatchedRequests int
 	Evictions       int
 	Deferred        int
-	WarmCapacity    int
-	PerWindow       []metrics.WindowStat
+	// Shed counts requests dropped entirely: rejected by the SLO admission
+	// controller, or lost after their single post-failure retry also died.
+	Shed int
+	// Retried counts requests re-dispatched to a surviving GPU after a fault
+	// aborted their run.
+	Retried int
+	// Degraded counts requests that completed while at least one injected
+	// fault was active — the population whose latency the faults perturbed.
+	Degraded int
+	// GPUFailures counts GPU-failure fault windows that opened during the run.
+	GPUFailures  int
+	WarmCapacity int
+	PerWindow    []metrics.WindowStat
 	// Telemetry is the windowed resource snapshot; nil unless
 	// Config.Telemetry was set.
 	Telemetry []metrics.TelemetryStat
@@ -859,6 +1093,10 @@ func (srv *Server) report(n int) *Report {
 		BatchedRequests: srv.batchedRequests,
 		Evictions:       srv.evictions,
 		Deferred:        srv.deferred,
+		Shed:            srv.shed,
+		Retried:         srv.retried,
+		Degraded:        srv.degraded,
+		GPUFailures:     srv.gpuFailures,
 		WarmCapacity:    srv.WarmCapacity(),
 		PerWindow:       srv.series.Stats(),
 	}

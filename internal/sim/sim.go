@@ -48,6 +48,7 @@ func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
 // Microseconds returns the instant as a float64 number of microseconds.
 func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
 
+// String formats the instant as a duration since the virtual epoch.
 func (t Time) String() string { return Duration(t).String() }
 
 // Event is a scheduled callback. It is returned by the scheduling methods so

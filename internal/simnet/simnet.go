@@ -1,19 +1,3 @@
-// Package simnet is a flow-level network simulator used to model the
-// PCIe and NVLink fabric of a multi-GPU server.
-//
-// The fabric is a set of Links, each with a fixed capacity in bytes per
-// second. A Flow moves a number of bytes across an ordered path of links.
-// While multiple flows share a link, bandwidth is divided by progressive
-// filling (max–min fairness), which is the standard first-order model for
-// PCIe arbitration: a root-port uplink shared by two switch downstream ports
-// splits evenly under load, and a flow limited elsewhere releases its share.
-//
-// The simulator is exact for piecewise-constant rates: whenever the set of
-// active flows changes, every flow's progress is advanced, rates are
-// recomputed, and the next completion is scheduled. This reproduces the
-// bandwidth-contention behaviour the paper measures in Table 2 (per-GPU PCIe
-// bandwidth collapsing from ~11 GB/s to ~6 GB/s when four GPUs load in
-// parallel through two shared switches).
 package simnet
 
 import (
@@ -97,6 +81,25 @@ func (l *Link) ResetStats() {
 	l.busyTime = 0
 }
 
+// SetLinkCapacity changes l's capacity to bytesPerSecond, effective
+// immediately: in-flight flow progress is credited at the old rates up to the
+// current instant, then every flow's max–min fair share is recomputed against
+// the new capacity and the next completion is rescheduled. This is the
+// mechanism behind fault injection's PCIe link degradation (a degraded link
+// keeps carrying traffic, only slower), so the capacity must stay positive —
+// a dead device is modelled by failing its GPU, not by a zero-width link.
+func (n *Network) SetLinkCapacity(l *Link, bytesPerSecond float64) {
+	if bytesPerSecond <= 0 {
+		panic(fmt.Sprintf("simnet: link %q capacity must stay positive, got %g", l.name, bytesPerSecond))
+	}
+	if l.capacity == bytesPerSecond {
+		return
+	}
+	n.advance()
+	l.capacity = bytesPerSecond
+	n.reallocate()
+}
+
 // Flow is an in-flight transfer across a path of links.
 type Flow struct {
 	name      string
@@ -156,7 +159,19 @@ type Network struct {
 	obs         RateObserver
 	obsPrev     []*Link
 	lastMMEpoch uint64
+
+	// limiter, when non-nil, may impose a per-flow rate cap at StartFlow
+	// time (fault injection's straggler transfers). Nil costs one branch.
+	limiter FlowLimiter
 }
+
+// FlowLimiter inspects a flow at start time and returns a rate cap in bytes
+// per second, or 0 for no cap. A capped flow behaves exactly as if its path
+// ended in a private link of that capacity: it participates in max–min
+// sharing but never exceeds the cap, and bandwidth it cannot use is released
+// to competing flows. The limiter must be a pure function of its arguments
+// and virtual-time state so simulations stay deterministic.
+type FlowLimiter func(name string, path []*Link, bytes float64) float64
 
 // RateObserver receives one sample per link whose max-min allocated rate
 // changed, at the instant of the change. Observers must be passive: they
@@ -179,6 +194,11 @@ func (n *Network) ActiveFlows() int { return len(n.flows) }
 // progress, and event order are identical with or without an observer.
 func (n *Network) ObserveRates(fn RateObserver) { n.obs = fn }
 
+// LimitFlows registers fn as the per-flow rate limiter consulted by
+// StartFlow (nil unregisters). Only flows started while the limiter is
+// registered are affected; caps on already-running flows do not change.
+func (n *Network) LimitFlows(fn FlowLimiter) { n.limiter = fn }
+
 // StartFlow begins transferring bytes across path. onDone, if non-nil, is
 // invoked (inside the simulator) when the last byte arrives. A flow with no
 // bytes or an empty path completes immediately, via a zero-delay event so
@@ -186,6 +206,16 @@ func (n *Network) ObserveRates(fn RateObserver) { n.obs = fn }
 func (n *Network) StartFlow(name string, path []*Link, bytes float64, onDone func(at sim.Time)) *Flow {
 	if bytes < 0 {
 		panic(fmt.Sprintf("simnet: flow %q has negative size %g", name, bytes))
+	}
+	if n.limiter != nil && bytes > 0 && len(path) > 0 {
+		if cap := n.limiter(name, path, bytes); cap > 0 {
+			// Realize the cap as a private trailing link: max–min sharing
+			// then enforces it naturally and releases unused bandwidth.
+			limited := make([]*Link, 0, len(path)+1)
+			limited = append(limited, path...)
+			limited = append(limited, NewLink(name+"/limit", cap))
+			path = limited
+		}
 	}
 	f := &Flow{
 		name:      name,

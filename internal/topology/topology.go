@@ -17,6 +17,8 @@ package topology
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"deepplan/internal/simnet"
 )
@@ -217,6 +219,42 @@ func (t *Topology) ParallelPartners(primary int) []int {
 		}
 	}
 	return out
+}
+
+// Links enumerates every link in the topology in a deterministic order:
+// switch uplinks first, then per-GPU lanes, then NVLinks (by source GPU,
+// then destination ID). Fault injection uses this to resolve link names.
+func (t *Topology) Links() []*simnet.Link {
+	var out []*simnet.Link
+	out = append(out, t.Uplinks...)
+	for _, g := range t.GPUs {
+		out = append(out, g.Lane)
+	}
+	for _, g := range t.GPUs {
+		peers := make([]int, 0, len(g.NVLinks))
+		// deterministic: keys are collected and sorted before use.
+		for id := range g.NVLinks {
+			peers = append(peers, id)
+		}
+		sort.Ints(peers)
+		for _, id := range peers {
+			out = append(out, g.NVLinks[id])
+		}
+	}
+	return out
+}
+
+// FindLink resolves a link by name. It accepts either the full diagnostic
+// name ("p3.8xlarge/gpu0-lane") or the suffix after the topology prefix
+// ("gpu0-lane", "switch1-uplink", "nvlink-0-to-2"), so fault specs stay
+// portable across topologies. It returns nil when no link matches.
+func (t *Topology) FindLink(name string) *simnet.Link {
+	for _, l := range t.Links() {
+		if l.Name() == name || strings.TrimPrefix(l.Name(), t.Name+"/") == name {
+			return l
+		}
+	}
+	return nil
 }
 
 // LaneBandwidth returns the private-lane bandwidth of GPU 0, which is uniform

@@ -132,3 +132,45 @@ func TestNoNVLinkTopology(t *testing.T) {
 		t.Fatalf("partners without NVLink = %v, want none", got)
 	}
 }
+
+func TestLinksEnumeratesEverythingDeterministically(t *testing.T) {
+	topo := P38xlarge()
+	links := topo.Links()
+	// 2 uplinks + 4 lanes + 4*3 NVLinks (full mesh, unidirectional).
+	if len(links) != 2+4+12 {
+		t.Fatalf("Links() = %d links, want 18", len(links))
+	}
+	again := topo.Links()
+	for i := range links {
+		if links[i] != again[i] {
+			t.Fatalf("Links() order unstable at %d: %s vs %s", i, links[i].Name(), again[i].Name())
+		}
+	}
+	seen := map[string]bool{}
+	for _, l := range links {
+		if seen[l.Name()] {
+			t.Fatalf("duplicate link %s", l.Name())
+		}
+		seen[l.Name()] = true
+	}
+}
+
+func TestFindLinkByFullNameAndSuffix(t *testing.T) {
+	topo := P38xlarge()
+	lane := topo.GPUs[2].Lane
+	if got := topo.FindLink("gpu2-lane"); got != lane {
+		t.Fatalf("FindLink suffix: got %v, want gpu2 lane", got)
+	}
+	if got := topo.FindLink("p3.8xlarge/gpu2-lane"); got != lane {
+		t.Fatalf("FindLink full name: got %v, want gpu2 lane", got)
+	}
+	if got := topo.FindLink("switch1-uplink"); got != topo.Uplinks[1] {
+		t.Fatalf("FindLink uplink: got %v, want uplink 1", got)
+	}
+	if got := topo.FindLink("nvlink-0-to-2"); got != topo.GPUs[0].NVLinks[2] {
+		t.Fatalf("FindLink nvlink: got %v", got)
+	}
+	if got := topo.FindLink("no-such-link"); got != nil {
+		t.Fatalf("FindLink unknown: got %v, want nil", got)
+	}
+}

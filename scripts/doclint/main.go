@@ -1,0 +1,133 @@
+// doclint checks that every exported identifier in the repository's
+// non-test Go files carries a doc comment. The experiment tables and the
+// facade are the project's public record; an undocumented export is a hole
+// in that record. Run via scripts/lint_doc_comments.sh (CI does).
+//
+// Checked: exported top-level funcs and methods on exported receivers
+// (methods on unexported types never reach godoc), exported types, and
+// exported names in const/var blocks — a block-level doc comment covers
+// all names in its block, matching godoc's own grouping behaviour.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var bad []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			bad = append(bad, lintFile(path)...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Println(b)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented export(s)\n", len(bad))
+		os.Exit(1)
+	}
+	fmt.Println("doc-comment lint: ok")
+}
+
+// receiverExported reports whether d is a plain function or a method whose
+// receiver type is itself exported (and therefore visible in godoc).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func lintFile(path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", path, err)}
+	}
+	var bad []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		bad = append(bad, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						report(ts.Pos(), "type", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				// A doc comment on the block covers every name inside it.
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							report(n.Pos(), d.Tok.String(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Doc-comment lint: every exported identifier in the library, tools, and
+# examples must carry a doc comment. godoc is part of this project's
+# deliverable — the facade and the internal packages are the map of the
+# reproduction — so an undocumented export fails CI the same way a broken
+# test does. The checker itself is scripts/doclint (go/ast based; no
+# third-party linters, per the no-new-dependencies rule).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./scripts/doclint deepplan.go internal cmd examples
