@@ -50,7 +50,17 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "print the per-window resource telemetry table")
 	faultSpec := flag.String("faults", "", `fault-injection schedule, e.g. "gpu=1@2s+5s; link=gpu0-lane*0.3@1s+10s; rand=7/3@60s"`)
 	admit := flag.Float64("admit", 0, "SLO-aware admission: shed cold-starts projected over admit*SLO (0 disables)")
+	nodes := flag.Int("nodes", 1, "cluster mode: number of serving nodes (>1 enables the multi-node router)")
+	route := flag.String("route", "least-outstanding", "cluster routing policy: round-robin | least-outstanding | affinity")
+	autoscale := flag.Bool("autoscale", false, "cluster mode: reactive per-model replica autoscaling from a 1-replica floor")
 	flag.Parse()
+
+	if *nodes > 1 || *autoscale {
+		runCluster(*nodes, *route, *autoscale, *policy, *modelName, *instances,
+			*rate, *requests, *sloMs, *maxBatch, *seed, *maf, *faultSpec,
+			*tracePath, *telemetry)
+		return
+	}
 
 	var rec *deepplan.TraceRecorder
 	if *tracePath != "" {
@@ -145,10 +155,17 @@ func main() {
 	}
 
 	if *maf {
+		// Request-free windows (now reported explicitly through the end of
+		// the trace) have no latency sample and miss no SLO: render p99 and
+		// goodput as "-" instead of a misleading 0.
 		fmt.Printf("\nper-15-minute windows:\n%-8s %9s %9s %9s %7s\n",
 			"minute", "requests", "p99(ms)", "goodput", "colds")
 		for i, ws := range rep.PerWindow {
-			if i%15 != 0 || ws.Requests == 0 {
+			if i%15 != 0 {
+				continue
+			}
+			if ws.Requests == 0 {
+				fmt.Printf("%-8d %9d %9s %9s %7d\n", i, 0, "-", "-", ws.ColdStarts)
 				continue
 			}
 			fmt.Printf("%-8d %9d %9.1f %8.1f%% %7d\n",
@@ -185,6 +202,110 @@ func main() {
 			fail("writing trace: %v", werr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *tracePath)
+	}
+}
+
+// runCluster is the multi-node path: N independent simulated servers on a
+// shared virtual clock behind the front-end router (and, with -autoscale,
+// the reactive replica controller). The model is replicated on every node.
+func runCluster(nodes int, route string, autoscale bool, policy, modelName string,
+	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
+	maf bool, faultSpec, tracePath string, telemetry bool) {
+	if maf || faultSpec != "" {
+		fail("cluster mode (-nodes > 1 / -autoscale) supports Poisson workloads without -maf or -faults")
+	}
+	if nodes < 1 {
+		fail("-nodes must be >= 1")
+	}
+	var rec *deepplan.TraceRecorder
+	if tracePath != "" {
+		rec = deepplan.NewTraceRecorder()
+	}
+	platform := deepplan.NewP38xlarge()
+	c, err := platform.NewCluster(deepplan.ClusterOptions{
+		Nodes:     nodes,
+		Policy:    deepplan.Mode(policy),
+		Route:     deepplan.RoutePolicy(route),
+		SLO:       deepplan.Duration(sloMs) * sim.Millisecond,
+		MaxBatch:  maxBatch,
+		Autoscale: deepplan.AutoscaleConfig{Enabled: autoscale, Interval: sim.Second},
+		Trace:     rec,
+		Telemetry: telemetry,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	m, err := deepplan.LoadModel(modelName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := c.Deploy(m, instances); err != nil {
+		fail("%v", err)
+	}
+	warm := c.Warmup()
+	fmt.Printf("deployed %d x %s on each of %d nodes (%d instances warm), route %s\n",
+		instances, m.Name, nodes, warm, route)
+	reqs := deepplan.ClusterRequests(m.Name,
+		deepplan.PoissonWorkload(seed, rate, requests, instances))
+	fmt.Printf("%d Poisson requests at %.0f rps\n\n", len(reqs), rate)
+
+	start := time.Now()
+	rep, err := c.Run(reqs)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("policy:        %s, %d nodes, %s routing\n", rep.Policy, rep.Nodes, rep.Route)
+	fmt.Printf("requests:      %d (simulated; wall clock %s)\n",
+		rep.Requests, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("p50 / p99:     %.1f ms / %.1f ms (max %.1f ms)\n",
+		rep.P50.Seconds()*1e3, rep.P99.Seconds()*1e3, rep.Max.Seconds()*1e3)
+	fmt.Printf("cold / warm:   p99 %.1f ms / %.1f ms\n",
+		rep.ColdP99.Seconds()*1e3, rep.WarmP99.Seconds()*1e3)
+	fmt.Printf("goodput:       %.2f%% (SLO %d ms)\n", rep.Goodput*100, sloMs)
+	fmt.Printf("cold starts:   %d, evictions %d, shed %d\n",
+		rep.ColdStarts, rep.Evictions, rep.Shed)
+	if autoscale {
+		for _, rs := range rep.Replicas {
+			fmt.Printf("autoscale:     %s: %d ups, %d downs; %d of %d replicas active\n",
+				rs.Model, rep.ScaleUps, rep.ScaleDowns, rs.Active, rs.Max)
+		}
+	}
+	fmt.Printf("\nper-node:      %-6s %9s %7s %9s %6s\n", "node", "routed", "colds", "p99(ms)", "shed")
+	for _, ns := range rep.PerNode {
+		fmt.Printf("               %-6d %9d %7d %9.1f %6d\n",
+			ns.Node, ns.Routed, ns.ColdStarts, ns.P99.Seconds()*1e3, ns.Shed)
+	}
+
+	if telemetry {
+		fmt.Printf("\ncluster telemetry (all nodes):\n%-8s %9s %7s %7s %7s %7s\n",
+			"minute", "requests", "cold%", "queue", "busy%", "evict")
+		for _, w := range rep.Telemetry {
+			if w.Requests == 0 && w.Evictions == 0 {
+				continue
+			}
+			fmt.Printf("%-8.0f %9d %6.1f%% %7.2f %6.1f%% %7d\n",
+				w.Start.Seconds()/60, w.Requests, w.ColdRatio*100,
+				w.MeanQueueDepth, w.BusyFraction*100, w.Evictions)
+		}
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fail("%v", err)
+		}
+		werr := deepplan.WriteTrace(f, rec, map[string]string{
+			"policy": policy, "route": route,
+			"nodes": strconv.Itoa(nodes),
+			"seed":  strconv.FormatInt(seed, 10),
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail("writing trace: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), tracePath)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 
+	"deepplan/internal/cluster"
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/engine"
@@ -315,6 +316,84 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		Faults:      opts.Faults,
 		AdmitFactor: opts.AdmitFactor,
 	})
+}
+
+// Cluster-layer re-exports: the multi-node serving system (router +
+// autoscaler over N independent servers on one shared virtual clock).
+type (
+	// Cluster is a simulated multi-node serving system.
+	Cluster = cluster.Cluster
+	// ClusterRequest is one cluster-level arrival (model + routing key).
+	ClusterRequest = cluster.Request
+	// ClusterReport summarizes a cluster run.
+	ClusterReport = cluster.Report
+	// RoutePolicy selects the front-end routing policy.
+	RoutePolicy = cluster.RoutePolicy
+	// AutoscaleConfig tunes the reactive per-model replica controller.
+	AutoscaleConfig = cluster.AutoscaleConfig
+)
+
+// Routing policies for ClusterOptions.Route.
+const (
+	// RouteRoundRobin rotates nodes per request.
+	RouteRoundRobin = cluster.RouteRoundRobin
+	// RouteLeastOutstanding picks the node with the fewest queued runs.
+	RouteLeastOutstanding = cluster.RouteLeastOutstanding
+	// RouteAffinity uses rendezvous hashing with a least-loaded tie-break.
+	RouteAffinity = cluster.RouteAffinity
+)
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions struct {
+	// Nodes is the node count (each an independent simulated server).
+	Nodes int
+	// Policy is each node's cold-start policy (default PT+DHA).
+	Policy Mode
+	// Route is the front-end routing policy (default least-outstanding).
+	Route RoutePolicy
+	// SLO is the target latency (default 100 ms).
+	SLO Duration
+	// MaxBatch enables per-node dynamic batching of warm requests.
+	MaxBatch int
+	// Autoscale configures the reactive replica controller.
+	Autoscale AutoscaleConfig
+	// Trace, when non-nil, records all nodes onto one timeline with
+	// per-node Perfetto track groups. Export with WriteTrace.
+	Trace *TraceRecorder
+	// Telemetry enables the cluster-aggregated windowed resource snapshot.
+	Telemetry bool
+}
+
+// NewCluster builds a multi-node serving system on this platform: every
+// node gets a fresh topology from the platform's factory, and all nodes
+// share one virtual clock.
+func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
+	policy := serving.Policy(opts.Policy)
+	if opts.Policy == "" {
+		policy = serving.PolicyPTDHA
+	}
+	return cluster.New(cluster.Config{
+		Nodes:       opts.Nodes,
+		NewTopology: p.build,
+		Cost:        p.cost,
+		Policy:      policy,
+		Route:       opts.Route,
+		SLO:         opts.SLO,
+		MaxBatch:    opts.MaxBatch,
+		Autoscale:   opts.Autoscale,
+		Trace:       opts.Trace,
+		Telemetry:   opts.Telemetry,
+	})
+}
+
+// ClusterRequests maps a single-server workload onto cluster arrivals for
+// the named model: each request's instance index becomes its routing key.
+func ClusterRequests(model string, reqs []Request) []ClusterRequest {
+	out := make([]ClusterRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = ClusterRequest{At: r.At, Model: model, Key: r.Instance}
+	}
+	return out
 }
 
 // PoissonWorkload generates an open-loop Poisson arrival sequence

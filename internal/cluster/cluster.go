@@ -1,0 +1,593 @@
+// Package cluster is the multi-node serving layer: N independent
+// serving.Server nodes — each with its own topology, network, and engine —
+// driven by one shared virtual clock, behind a front-end router and a
+// reactive autoscaler.
+//
+// The single-node serving system reproduces the paper's evaluation on one
+// p3.8xlarge; the ROADMAP's north star ("heavy traffic from millions of
+// users") is a fleet. This package models the cluster-level decisions that
+// dominate such fleets — *which node* eats a cold start, and *how many*
+// replicas of a model should receive traffic — on exactly the same
+// deterministic substrate, so routing policies and scaling rules are
+// byte-reproducible and testable the way the paper's figures are
+// (LLMServingSim and Revati make the same argument for simulator-based
+// cluster serving research).
+//
+// Routing. Three pluggable policies:
+//
+//   - round-robin: rotate nodes per request; the classic load-oblivious
+//     baseline.
+//   - least-outstanding: pick the node with the fewest queued/executing
+//     runs (ties to the lowest node id). Load-aware, locality-oblivious.
+//   - affinity: rendezvous (highest-random-weight) hashing of
+//     (model, replica) over the node set, with a least-loaded tie-break
+//     between the top two ranked nodes. Keeps a replica's requests on its
+//     home node — warm hits — while still spilling when the home node is
+//     measurably busier.
+//
+// Autoscaling. A reactive controller samples windowed cluster telemetry
+// (mean queue depth at arrival, cold-start ratio) on the shared clock and
+// adjusts each model's *active* replica count: queue pressure scales up,
+// cold-heavy quiet windows scale down (consolidating traffic onto fewer
+// replicas restores residency), idle windows drain toward the floor. All
+// replicas are deployed up front (host weights pinned, plans built — the
+// paper's one-time pre-run); scaling changes only how many replicas the
+// router spreads requests across, which is what a serverless platform's
+// instance count controls.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"deepplan/internal/costmodel"
+	"deepplan/internal/dnn"
+	"deepplan/internal/metrics"
+	"deepplan/internal/serving"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+	"deepplan/internal/trace"
+	"deepplan/internal/workload"
+)
+
+// RoutePolicy selects how the front-end spreads requests across nodes.
+type RoutePolicy string
+
+// Available routing policies.
+const (
+	RouteRoundRobin       RoutePolicy = "round-robin"
+	RouteLeastOutstanding RoutePolicy = "least-outstanding"
+	RouteAffinity         RoutePolicy = "affinity"
+)
+
+// AutoscaleConfig tunes the reactive per-model replica controller. The
+// zero value disables autoscaling (every deployed replica stays active).
+type AutoscaleConfig struct {
+	// Enabled turns the controller on. Models start at Min active replicas
+	// and scale toward their deployed maximum under load.
+	Enabled bool
+	// Min is the per-model active-replica floor. Default 1.
+	Min int
+	// Interval is the controller's decision period on the virtual clock.
+	// Default: the cluster's WindowWidth.
+	Interval sim.Duration
+	// QueueHigh scales a model up when the window's mean queue depth per
+	// node (sampled at each arrival) exceeds it. Default 2.
+	QueueHigh float64
+	// QueueLow and ColdHigh together scale a model down: a window with mean
+	// per-node queue depth under QueueLow and a cold-start ratio over
+	// ColdHigh means traffic is spread thinner than residency can follow,
+	// so consolidating replicas converts cold starts into warm hits.
+	// Defaults 0.5 and 0.3.
+	QueueLow float64
+	ColdHigh float64
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Nodes is the node count; each node is an independent serving.Server
+	// with its own freshly built topology. Must be >= 1.
+	Nodes int
+	// NewTopology builds one node's topology; it is called once per node
+	// (topologies carry simulation state and cannot be shared). Default
+	// topology.P38xlarge.
+	NewTopology func() *topology.Topology
+	// Cost is the platform cost model. Default costmodel.Default().
+	Cost *costmodel.Params
+	// Policy is the per-node cold-start policy (the paper's legends).
+	// Default PT+DHA.
+	Policy serving.Policy
+	// Route is the front-end routing policy. Default least-outstanding.
+	Route RoutePolicy
+	// SLO is the latency target. Default 100 ms.
+	SLO sim.Duration
+	// WindowWidth buckets per-window series and telemetry. Default 1 minute.
+	WindowWidth sim.Duration
+	// MaxBatch enables per-node dynamic batching of warm requests.
+	MaxBatch int
+	// Autoscale configures the reactive replica controller.
+	Autoscale AutoscaleConfig
+	// Trace, when non-nil, records the whole cluster onto one timeline:
+	// each node's GPUs/fabric/server appear as "node<i> ..." Perfetto
+	// processes (trace.Recorder node views), and router/autoscaler events
+	// land on the cluster router track. Observation-only, as everywhere.
+	Trace *trace.Recorder
+	// Telemetry enables per-node windowed telemetry and its cluster-level
+	// aggregation in Report.Telemetry.
+	Telemetry bool
+}
+
+// Request is one cluster-level arrival: a model invocation identified by a
+// stable Key (user, session, or serverless function id). The router maps
+// Key onto one of the model's active replicas, so a Key's requests reuse
+// residency as far as the routing policy allows.
+type Request struct {
+	At    sim.Time
+	Model string
+	Key   int
+}
+
+type modelState struct {
+	name     string
+	replicas int // deployed per node (the scale ceiling)
+	active   int // replicas currently receiving traffic
+	base     int // node-local instance index of replica 0 (same on every node)
+	// winArrivals counts this window's arrivals for the autoscaler.
+	winArrivals int
+}
+
+type node struct {
+	id  int
+	srv *serving.Server
+}
+
+// down reports whether the node has no serving capacity at all.
+func (n *node) down() bool { return n.srv.DownGPUs() == n.srv.NumGPUs() }
+
+// Cluster is the simulated multi-node serving system.
+type Cluster struct {
+	cfg   Config
+	sim   *sim.Simulator
+	nodes []*node
+	rec   *trace.Recorder
+
+	models map[string]*modelState
+	order  []string // deployment order, for deterministic iteration
+
+	rr        int // round-robin cursor
+	submitted int
+	routed    []int // per-node routed request counts
+
+	// Windowed autoscaler signals, reset each tick.
+	winArrivals int
+	winQueueSum int64
+	winColdBase int
+
+	scaleUps, scaleDowns int
+}
+
+// New builds a Cluster of cfg.Nodes independent serving nodes on one
+// shared virtual clock.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.NewTopology == nil {
+		cfg.NewTopology = topology.P38xlarge
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = costmodel.Default()
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = serving.PolicyPTDHA
+	}
+	switch cfg.Route {
+	case "":
+		cfg.Route = RouteLeastOutstanding
+	case RouteRoundRobin, RouteLeastOutstanding, RouteAffinity:
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q", cfg.Route)
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 100 * sim.Millisecond
+	}
+	if cfg.WindowWidth <= 0 {
+		cfg.WindowWidth = 60 * sim.Second
+	}
+	if cfg.Autoscale.Enabled {
+		if cfg.Autoscale.Min <= 0 {
+			cfg.Autoscale.Min = 1
+		}
+		if cfg.Autoscale.Interval <= 0 {
+			cfg.Autoscale.Interval = cfg.WindowWidth
+		}
+		if cfg.Autoscale.QueueHigh <= 0 {
+			cfg.Autoscale.QueueHigh = 2
+		}
+		if cfg.Autoscale.QueueLow <= 0 {
+			cfg.Autoscale.QueueLow = 0.5
+		}
+		if cfg.Autoscale.ColdHigh <= 0 {
+			cfg.Autoscale.ColdHigh = 0.3
+		}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		sim:    sim.New(),
+		rec:    cfg.Trace,
+		models: map[string]*modelState{},
+		routed: make([]int, cfg.Nodes),
+	}
+	c.rec.NamePID(trace.ServerPID, "cluster router") // no-op when tracing is off
+	for i := 0; i < cfg.Nodes; i++ {
+		topo := cfg.NewTopology()
+		srv, err := serving.New(serving.Config{
+			Topo:        topo,
+			Cost:        cfg.Cost,
+			Policy:      cfg.Policy,
+			Sim:         c.sim,
+			SLO:         cfg.SLO,
+			WindowWidth: cfg.WindowWidth,
+			MaxBatch:    cfg.MaxBatch,
+			Trace:       c.rec.Node(i, topo.NumGPUs()),
+			Telemetry:   cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &node{id: i, srv: srv})
+	}
+	return c, nil
+}
+
+// NumNodes returns the cluster's node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Deploy registers replicas instances of a model on every node (weights
+// pinned in each node's host memory, profiled and planned once per node —
+// the paper's one-time pre-run, fleet-wide). replicas is the model's scale
+// ceiling; with autoscaling enabled the router starts at the configured
+// floor and the controller moves the active count inside [Min, replicas].
+func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
+	if replicas <= 0 {
+		return fmt.Errorf("cluster: replica count must be positive")
+	}
+	if _, ok := c.models[model.Name]; ok {
+		return fmt.Errorf("cluster: model %q already deployed", model.Name)
+	}
+	base := c.nodes[0].srv.NumInstances()
+	for _, n := range c.nodes {
+		if err := n.srv.Deploy(model, replicas); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n.id, err)
+		}
+	}
+	active := replicas
+	if c.cfg.Autoscale.Enabled {
+		active = c.cfg.Autoscale.Min
+		if active > replicas {
+			active = replicas
+		}
+	}
+	c.models[model.Name] = &modelState{
+		name: model.Name, replicas: replicas, active: active, base: base,
+	}
+	c.order = append(c.order, model.Name)
+	return nil
+}
+
+// Warmup pre-places instances on every node, mirroring the single-node
+// warm-up phase. It returns the total number of instances made warm.
+func (c *Cluster) Warmup() int {
+	warm := 0
+	for _, n := range c.nodes {
+		warm += n.srv.Warmup()
+	}
+	return warm
+}
+
+// rendezvous is a 64-bit FNV-1a highest-random-weight score for placing
+// (model, replica) on node. Pure arithmetic: deterministic everywhere.
+func rendezvous(model string, replica, node int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(model); i++ {
+		h ^= uint64(model[i])
+		h *= prime
+	}
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(replica))
+	mix(uint64(node))
+	return h
+}
+
+// route picks the serving node for one request under the configured policy.
+// It returns nil only when every node is fully down.
+func (c *Cluster) route(m *modelState, replica int) *node {
+	switch c.cfg.Route {
+	case RouteRoundRobin:
+		for try := 0; try < len(c.nodes); try++ {
+			n := c.nodes[c.rr]
+			c.rr = (c.rr + 1) % len(c.nodes)
+			if !n.down() {
+				return n
+			}
+		}
+		return nil
+	case RouteLeastOutstanding:
+		var best *node
+		bestOut := 0
+		for _, n := range c.nodes {
+			if n.down() {
+				continue
+			}
+			out := n.srv.Outstanding()
+			if best == nil || out < bestOut {
+				best, bestOut = n, out
+			}
+		}
+		return best
+	case RouteAffinity:
+		// Rank live nodes by rendezvous score; between the top two, the
+		// less-loaded one wins (ties stay with the rendezvous winner, so a
+		// balanced cluster keeps perfect affinity).
+		var best, second *node
+		var bestScore, secondScore uint64
+		for _, n := range c.nodes {
+			if n.down() {
+				continue
+			}
+			s := rendezvous(m.name, replica, n.id)
+			switch {
+			case best == nil || s > bestScore:
+				second, secondScore = best, bestScore
+				best, bestScore = n, s
+			case second == nil || s > secondScore:
+				second, secondScore = n, s
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		if second != nil && second.srv.Outstanding() < best.srv.Outstanding() {
+			return second
+		}
+		return best
+	}
+	panic("cluster: unreachable routing policy " + string(c.cfg.Route))
+}
+
+// handle routes one arrival at the current virtual time.
+func (c *Cluster) handle(req Request) error {
+	m := c.models[req.Model]
+	if m == nil {
+		return fmt.Errorf("cluster: request for unknown model %q", req.Model)
+	}
+	key := req.Key
+	if key < 0 {
+		key = -key
+	}
+	replica := key % m.active
+
+	// Sample cluster-wide queue depth at arrival for the autoscaler.
+	depth := 0
+	for _, n := range c.nodes {
+		depth += n.srv.Outstanding()
+	}
+	c.winArrivals++
+	c.winQueueSum += int64(depth)
+	m.winArrivals++
+
+	n := c.route(m, replica)
+	if n == nil {
+		return fmt.Errorf("cluster: every node is down at %v", c.sim.Now())
+	}
+	c.routed[n.id]++
+	c.submitted++
+	return n.srv.Submit(workload.Request{At: req.At, Instance: m.base + replica})
+}
+
+// scaleTick runs one autoscaler decision from the window's telemetry.
+func (c *Cluster) scaleTick() {
+	coldNow := 0
+	for _, n := range c.nodes {
+		coldNow += n.srv.ColdStartCount()
+	}
+	coldDelta := coldNow - c.winColdBase
+	c.winColdBase = coldNow
+
+	var perNodeDepth, coldRatio float64
+	if c.winArrivals > 0 {
+		perNodeDepth = float64(c.winQueueSum) / float64(c.winArrivals) / float64(len(c.nodes))
+		coldRatio = float64(coldDelta) / float64(c.winArrivals)
+	}
+	as := c.cfg.Autoscale
+	for _, name := range c.order {
+		m := c.models[name]
+		before := m.active
+		switch {
+		case m.winArrivals == 0:
+			// Idle window: drain toward the floor.
+			if m.active > as.Min {
+				m.active--
+			}
+		case perNodeDepth > as.QueueHigh && m.active < m.replicas:
+			// Queue pressure: spread the model wider.
+			m.active++
+		case perNodeDepth < as.QueueLow && coldRatio > as.ColdHigh && m.active > as.Min:
+			// Quiet but cold-heavy: consolidate to restore residency.
+			m.active--
+		}
+		if m.active != before {
+			if m.active > before {
+				c.scaleUps++
+			} else {
+				c.scaleDowns++
+			}
+			if c.rec != nil {
+				kind := "scale-up "
+				if m.active < before {
+					kind = "scale-down "
+				}
+				c.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "cluster",
+					kind+m.name, c.sim.Now(), map[string]any{
+						"model": m.name, "active": m.active,
+						"queue_per_node": perNodeDepth, "cold_ratio": coldRatio,
+					})
+			}
+		}
+		m.winArrivals = 0
+	}
+	c.winArrivals = 0
+	c.winQueueSum = 0
+}
+
+// Run replays the request sequence through the router to completion and
+// returns the cluster report. Requests must be sorted by arrival time
+// (workload generators produce sorted sequences).
+func (c *Cluster) Run(requests []Request) (*Report, error) {
+	for _, r := range requests {
+		if _, ok := c.models[r.Model]; !ok {
+			return nil, fmt.Errorf("cluster: request for unknown model %q", r.Model)
+		}
+	}
+	var firstErr error
+	for _, r := range requests {
+		req := r
+		c.sim.At(req.At, func() {
+			if err := c.handle(req); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	if c.cfg.Autoscale.Enabled && len(requests) > 0 {
+		horizon := requests[len(requests)-1].At
+		for t := sim.Time(0).Add(c.cfg.Autoscale.Interval); t <= horizon; t = t.Add(c.cfg.Autoscale.Interval) {
+			c.sim.At(t, c.scaleTick)
+		}
+	}
+	c.sim.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return c.report(len(requests))
+}
+
+// CheckInvariants validates every node's internal consistency (test use).
+func (c *Cluster) CheckInvariants() error {
+	for _, n := range c.nodes {
+		if err := n.srv.CheckInvariants(); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n.id, err)
+		}
+	}
+	return nil
+}
+
+// NodeStat is one node's share of a cluster run.
+type NodeStat struct {
+	Node       int
+	Routed     int // requests the router sent here
+	ColdStarts int
+	Evictions  int
+	Shed       int
+	P99        sim.Duration
+}
+
+// ReplicaStat reports a model's replica state after a run.
+type ReplicaStat struct {
+	Model  string
+	Active int // replicas receiving traffic when the run ended
+	Max    int // deployed ceiling
+}
+
+// Report summarizes a cluster run: merged percentile digests (overall and
+// cold/warm split), aggregate serving counters, per-node shares, the
+// autoscaler's trajectory, and the cluster-level telemetry aggregation.
+type Report struct {
+	Nodes    int
+	Route    RoutePolicy
+	Policy   serving.Policy
+	Requests int
+	Shed     int
+
+	P50, P99, Max, Mean sim.Duration
+	ColdP50, ColdP99    sim.Duration
+	WarmP99             sim.Duration
+	Goodput             float64
+
+	ColdStarts  int
+	Evictions   int
+	Relocations int
+	Deferred    int
+	Retried     int
+	GPUFailures int
+
+	ScaleUps, ScaleDowns int
+	Replicas             []ReplicaStat
+
+	PerNode []NodeStat
+	// Telemetry is the cluster-level aggregation of every node's windowed
+	// telemetry; nil unless Config.Telemetry was set.
+	Telemetry []metrics.TelemetryStat
+}
+
+func (c *Cluster) report(requests int) (*Report, error) {
+	r := &Report{
+		Nodes:    len(c.nodes),
+		Route:    c.cfg.Route,
+		Policy:   c.cfg.Policy,
+		Requests: requests,
+	}
+	var all, cold, warm metrics.Digest
+	var perNode [][]metrics.TelemetryStat
+	for _, n := range c.nodes {
+		rep, err := n.srv.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+		}
+		na, nc, nw := n.srv.Digests()
+		all.Merge(na)
+		cold.Merge(nc)
+		warm.Merge(nw)
+		r.Shed += rep.Shed
+		r.ColdStarts += rep.ColdStarts
+		r.Evictions += rep.Evictions
+		r.Relocations += rep.Relocations
+		r.Deferred += rep.Deferred
+		r.Retried += rep.Retried
+		r.GPUFailures += rep.GPUFailures
+		r.PerNode = append(r.PerNode, NodeStat{
+			Node:       n.id,
+			Routed:     c.routed[n.id],
+			ColdStarts: rep.ColdStarts,
+			Evictions:  rep.Evictions,
+			Shed:       rep.Shed,
+			P99:        rep.P99,
+		})
+		if c.cfg.Telemetry {
+			perNode = append(perNode, rep.Telemetry)
+		}
+	}
+	if c.cfg.Telemetry {
+		r.Telemetry = metrics.MergeTelemetry(perNode...)
+	}
+	r.P50, r.P99, r.Max, r.Mean = all.P50(), all.P99(), all.Max(), all.Mean()
+	r.ColdP50, r.ColdP99 = cold.P50(), cold.P99()
+	r.WarmP99 = warm.P99()
+	r.Goodput = all.GoodputRate(c.cfg.SLO)
+	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
+	names := append([]string(nil), c.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		m := c.models[name]
+		r.Replicas = append(r.Replicas, ReplicaStat{Model: m.name, Active: m.active, Max: m.replicas})
+	}
+	return r, nil
+}

@@ -66,6 +66,7 @@ var registry = []Experiment{
 	{"fig15", "Figure 15: MAF-like trace replay (3 hours)", Figure15},
 	{"fig16", "Figure 16: speedups on 2x RTX A5000 with PCIe 4.0", Figure16},
 	{"fig-faults", "Fault injection: graceful degradation under GPU/link faults", FigFaults},
+	{"fig-cluster", "Cluster serving: routing policies and autoscaling across nodes", FigCluster},
 }
 
 // All returns every experiment in presentation order.

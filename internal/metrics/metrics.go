@@ -88,10 +88,14 @@ func (d *Digest) Max() sim.Duration {
 	return secs(max)
 }
 
-// GoodputRate returns the fraction of samples within the SLO.
+// GoodputRate returns the fraction of samples within the SLO. An empty
+// digest reports 1.0: a window in which no request arrived missed nothing,
+// and rendering it as 0% goodput would read as a total SLO violation in the
+// per-window tables (render request-free windows as "-" where the request
+// count is available).
 func (d *Digest) GoodputRate(slo sim.Duration) float64 {
 	if len(d.samples) == 0 {
-		return 0
+		return 1
 	}
 	bound := slo.Seconds()
 	n := 0
@@ -103,9 +107,28 @@ func (d *Digest) GoodputRate(slo sim.Duration) float64 {
 	return float64(n) / float64(len(d.samples))
 }
 
+// Merge folds another digest's samples into d (cluster-level aggregation:
+// per-node digests merge into one cluster-wide percentile view).
+func (d *Digest) Merge(o *Digest) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+}
+
 // secs converts float seconds back to a Duration, rounding to the nearest
 // nanosecond (plain truncation loses 1 ns on values like 31578.999...).
 func secs(s float64) sim.Duration { return sim.Duration(math.Round(s * 1e9)) }
+
+// windowsCovering returns how many width-sized windows are needed to cover
+// [0, horizon). A horizon of zero needs none.
+func windowsCovering(horizon sim.Time, width sim.Duration) int {
+	if horizon <= 0 {
+		return 0
+	}
+	return int((horizon + sim.Time(width) - 1) / sim.Time(width))
+}
 
 // WindowStat is one time bucket of a Series.
 type WindowStat struct {
@@ -146,16 +169,30 @@ func (s *Series) Record(at sim.Time, latency sim.Duration, cold bool) {
 	}
 }
 
-// Stats returns the per-window summary, in time order.
-func (s *Series) Stats() []WindowStat {
-	out := make([]WindowStat, len(s.digests))
-	for i, d := range s.digests {
+// Stats returns the per-window summary, in time order, covering every
+// window up to the horizon (the end of the traced run). Windows after the
+// last recorded event are emitted explicitly as empty — without them a
+// fig15-style per-minute table silently ends at the last arrival and a
+// quiet tail is indistinguishable from a truncated trace. A horizon of
+// zero (or one inside the recorded extent) reports the recorded windows
+// only.
+func (s *Series) Stats(horizon sim.Time) []WindowStat {
+	n := len(s.digests)
+	if hw := windowsCovering(horizon, s.window); hw > n {
+		n = hw
+	}
+	out := make([]WindowStat, n)
+	for i := range out {
 		out[i] = WindowStat{
-			Start:      sim.Time(i) * sim.Time(s.window),
-			Requests:   d.Count(),
-			ColdStarts: s.colds[i],
-			P99:        d.P99(),
-			Goodput:    d.GoodputRate(s.slo),
+			Start:   sim.Time(i) * sim.Time(s.window),
+			Goodput: 1, // an empty window misses nothing
+		}
+		if i < len(s.digests) {
+			d := s.digests[i]
+			out[i].Requests = d.Count()
+			out[i].ColdStarts = s.colds[i]
+			out[i].P99 = d.P99()
+			out[i].Goodput = d.GoodputRate(s.slo)
 		}
 	}
 	return out
@@ -269,28 +306,88 @@ func (t *Telemetry) Busy(from, to sim.Time) {
 	}
 }
 
-// Stats returns the per-window telemetry snapshot, in time order.
-func (t *Telemetry) Stats() []TelemetryStat {
-	out := make([]TelemetryStat, len(t.windows))
-	capacity := float64(t.numGPUs) * t.window.Seconds()
-	for i := range t.windows {
-		w := &t.windows[i]
-		s := TelemetryStat{
-			Start:        sim.Time(i) * sim.Time(t.window),
-			Requests:     w.requests,
-			ColdStarts:   w.coldStarts,
-			Evictions:    w.evictions,
-			Relocations:  w.relocations,
-			Deferred:     w.deferred,
-			Shed:         w.shed,
-			Retried:      w.retried,
-			BusyFraction: w.busy.Seconds() / capacity,
+// Stats returns the per-window telemetry snapshot, in time order, covering
+// every window up to the horizon (the end of the traced run; zero reports
+// the recorded windows only). The horizon serves two corrections: windows
+// after the last recorded event appear explicitly as empty, and the trailing
+// *partial* window's busy capacity is clamped to the fraction of the window
+// the run actually covered — dividing its busy time by a full window's
+// capacity understates BusyFraction in the last bucket whenever the horizon
+// is not a multiple of the window.
+func (t *Telemetry) Stats(horizon sim.Time) []TelemetryStat {
+	n := len(t.windows)
+	if hw := windowsCovering(horizon, t.window); hw > n {
+		n = hw
+	}
+	out := make([]TelemetryStat, n)
+	for i := range out {
+		start := sim.Time(i) * sim.Time(t.window)
+		end := start.Add(t.window)
+		if horizon > start && horizon < end {
+			end = horizon // final partial window: capacity ends at the horizon
 		}
-		if w.requests > 0 {
-			s.ColdRatio = float64(w.coldStarts) / float64(w.requests)
-			s.MeanQueueDepth = float64(w.queueSum) / float64(w.requests)
+		capacity := float64(t.numGPUs) * end.Sub(start).Seconds()
+		s := TelemetryStat{Start: start}
+		if i < len(t.windows) {
+			w := &t.windows[i]
+			s.Requests = w.requests
+			s.ColdStarts = w.coldStarts
+			s.Evictions = w.evictions
+			s.Relocations = w.relocations
+			s.Deferred = w.deferred
+			s.Shed = w.shed
+			s.Retried = w.retried
+			s.BusyFraction = w.busy.Seconds() / capacity
+			if w.requests > 0 {
+				s.ColdRatio = float64(w.coldStarts) / float64(w.requests)
+				s.MeanQueueDepth = float64(w.queueSum) / float64(w.requests)
+			}
 		}
 		out[i] = s
+	}
+	return out
+}
+
+// MergeTelemetry aggregates per-node telemetry snapshots (as produced by
+// Telemetry.Stats over servers with identical window widths and GPU counts)
+// into one cluster-level series: counts sum, BusyFraction averages across
+// nodes (every node contributes equal capacity per window), and the ratio
+// fields are recomputed from the summed counts.
+func MergeTelemetry(perNode ...[]TelemetryStat) []TelemetryStat {
+	n := 0
+	for _, s := range perNode {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	if n == 0 || len(perNode) == 0 {
+		return nil
+	}
+	out := make([]TelemetryStat, n)
+	for i := range out {
+		var busy float64
+		var queueWeighted float64
+		for _, node := range perNode {
+			if i >= len(node) {
+				continue
+			}
+			w := node[i]
+			out[i].Start = w.Start
+			out[i].Requests += w.Requests
+			out[i].ColdStarts += w.ColdStarts
+			out[i].Evictions += w.Evictions
+			out[i].Relocations += w.Relocations
+			out[i].Deferred += w.Deferred
+			out[i].Shed += w.Shed
+			out[i].Retried += w.Retried
+			busy += w.BusyFraction
+			queueWeighted += w.MeanQueueDepth * float64(w.Requests)
+		}
+		out[i].BusyFraction = busy / float64(len(perNode))
+		if out[i].Requests > 0 {
+			out[i].ColdRatio = float64(out[i].ColdStarts) / float64(out[i].Requests)
+			out[i].MeanQueueDepth = queueWeighted / float64(out[i].Requests)
+		}
 	}
 	return out
 }

@@ -14,8 +14,32 @@ func TestDigestEmpty(t *testing.T) {
 	if d.Count() != 0 || d.P99() != 0 || d.Mean() != 0 || d.Max() != 0 {
 		t.Fatal("empty digest not all-zero")
 	}
-	if d.GoodputRate(sim.Second) != 0 {
-		t.Fatal("empty goodput not 0")
+	// Regression: an empty digest used to report 0% goodput, rendering
+	// request-free windows as total SLO violations; nothing arrived, so
+	// nothing missed the SLO.
+	if d.GoodputRate(sim.Second) != 1 {
+		t.Fatal("empty goodput not 1")
+	}
+}
+
+func TestDigestMerge(t *testing.T) {
+	var a, b Digest
+	for i := 1; i <= 50; i++ {
+		a.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Add(sim.Duration(i) * sim.Millisecond)
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.P99(); got != 99*sim.Millisecond {
+		t.Errorf("merged P99 = %v, want 99ms", got)
+	}
+	if got := a.Max(); got != 100*sim.Millisecond {
+		t.Errorf("merged Max = %v, want 100ms", got)
 	}
 }
 
@@ -148,7 +172,7 @@ func TestSeries(t *testing.T) {
 	s.Record(sim.Time(10*sim.Second), 50*sim.Millisecond, false)
 	s.Record(sim.Time(30*sim.Second), 200*sim.Millisecond, true)
 	s.Record(sim.Time(70*sim.Second), 80*sim.Millisecond, false)
-	stats := s.Stats()
+	stats := s.Stats(0) // zero horizon: recorded windows only
 	if len(stats) != 2 {
 		t.Fatalf("windows = %d, want 2", len(stats))
 	}
@@ -164,6 +188,35 @@ func TestSeries(t *testing.T) {
 	}
 	if stats[1].Start != sim.Time(60*sim.Second) {
 		t.Fatalf("window 1 start = %v", stats[1].Start)
+	}
+}
+
+// Regression: Stats used to end at the last *recorded* event, so a
+// fig15-style per-minute table over a trace with a quiet tail stopped
+// early; the horizon must produce explicit empty windows to the end.
+func TestSeriesExtendsToHorizon(t *testing.T) {
+	s := NewSeries(sim.Second*60, 100*sim.Millisecond)
+	s.Record(sim.Time(10*sim.Second), 50*sim.Millisecond, false)
+	// Run continues to 4.5 minutes with no further arrivals.
+	stats := s.Stats(sim.Time(270 * sim.Second))
+	if len(stats) != 5 {
+		t.Fatalf("windows = %d, want 5 (horizon 4.5 min)", len(stats))
+	}
+	for i := 1; i < 5; i++ {
+		w := stats[i]
+		if w.Requests != 0 || w.ColdStarts != 0 {
+			t.Fatalf("window %d not empty: %+v", i, w)
+		}
+		if w.Start != sim.Time(i)*sim.Time(60*sim.Second) {
+			t.Fatalf("window %d start = %v", i, w.Start)
+		}
+		if w.Goodput != 1 {
+			t.Fatalf("empty window %d goodput = %v, want 1 (nothing missed)", i, w.Goodput)
+		}
+	}
+	// A horizon inside the recorded extent must not truncate.
+	if got := len(s.Stats(sim.Time(30 * sim.Second))); got != 1 {
+		t.Fatalf("short horizon windows = %d, want 1", got)
 	}
 }
 

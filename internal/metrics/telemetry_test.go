@@ -17,7 +17,7 @@ func TestTelemetryWindows(t *testing.T) {
 	tel.Deferred(16 * sim.Time(sim.Second))
 	tel.Busy(2*sim.Time(sim.Second), 7*sim.Time(sim.Second))
 
-	stats := tel.Stats()
+	stats := tel.Stats(20 * sim.Time(sim.Second))
 	if len(stats) != 2 {
 		t.Fatalf("windows = %d, want 2", len(stats))
 	}
@@ -48,7 +48,7 @@ func TestTelemetryWindows(t *testing.T) {
 func TestTelemetryBusySplitsAcrossWindows(t *testing.T) {
 	tel := NewTelemetry(10*sim.Second, 1)
 	tel.Busy(8*sim.Time(sim.Second), 23*sim.Time(sim.Second))
-	stats := tel.Stats()
+	stats := tel.Stats(30 * sim.Time(sim.Second))
 	if len(stats) != 3 {
 		t.Fatalf("windows = %d, want 3", len(stats))
 	}
@@ -63,9 +63,87 @@ func TestTelemetryBusySplitsAcrossWindows(t *testing.T) {
 func TestTelemetryEmptyWindowRatios(t *testing.T) {
 	tel := NewTelemetry(10*sim.Second, 2)
 	tel.Eviction(5 * sim.Time(sim.Second)) // window exists but has no requests
-	w := tel.Stats()[0]
+	w := tel.Stats(0)[0]
 	if w.ColdRatio != 0 || w.MeanQueueDepth != 0 {
 		t.Fatalf("empty-window ratios = %+v; want zeros", w)
+	}
+}
+
+// Regression: the trailing *partial* window's busy time used to be divided
+// by a full window's capacity, understating BusyFraction in the last bucket
+// whenever the run's horizon is not a multiple of the window width.
+func TestTelemetryPartialFinalWindowCapacity(t *testing.T) {
+	tel := NewTelemetry(10*sim.Second, 2)
+	// The run ends at 14 s: the second window covers only [10 s, 14 s).
+	tel.Busy(10*sim.Time(sim.Second), 14*sim.Time(sim.Second))
+	stats := tel.Stats(14 * sim.Time(sim.Second))
+	if len(stats) != 2 {
+		t.Fatalf("windows = %d, want 2", len(stats))
+	}
+	// One of two GPUs busy for the whole 4 s the window existed = 0.5,
+	// not 4s/(2*10s) = 0.2.
+	if got := stats[1].BusyFraction; got != 0.5 {
+		t.Fatalf("partial-window busy fraction = %v, want 0.5", got)
+	}
+	// Full windows are unaffected by the clamp.
+	tel2 := NewTelemetry(10*sim.Second, 2)
+	tel2.Busy(0, 10*sim.Time(sim.Second))
+	if got := tel2.Stats(20 * sim.Time(sim.Second))[0].BusyFraction; got != 0.5 {
+		t.Fatalf("full-window busy fraction = %v, want 0.5", got)
+	}
+}
+
+// Regression: telemetry windows after the last recorded event were omitted;
+// a quiet tail must appear as explicit empty windows up to the horizon.
+func TestTelemetryExtendsToHorizon(t *testing.T) {
+	tel := NewTelemetry(10*sim.Second, 2)
+	tel.Arrival(1*sim.Time(sim.Second), 0)
+	stats := tel.Stats(35 * sim.Time(sim.Second))
+	if len(stats) != 4 {
+		t.Fatalf("windows = %d, want 4 (horizon 35 s)", len(stats))
+	}
+	for i := 1; i < 4; i++ {
+		if stats[i].Requests != 0 || stats[i].BusyFraction != 0 {
+			t.Fatalf("window %d not empty: %+v", i, stats[i])
+		}
+	}
+	if stats[3].Start != sim.Time(30*sim.Second) {
+		t.Fatalf("window 3 start = %v", stats[3].Start)
+	}
+}
+
+func TestMergeTelemetry(t *testing.T) {
+	a := NewTelemetry(10*sim.Second, 2)
+	b := NewTelemetry(10*sim.Second, 2)
+	a.Arrival(1*sim.Time(sim.Second), 4)
+	a.ColdStart(1 * sim.Time(sim.Second))
+	a.Busy(0, 5*sim.Time(sim.Second))
+	b.Arrival(2*sim.Time(sim.Second), 2)
+	b.Arrival(12*sim.Time(sim.Second), 0)
+	b.Eviction(12 * sim.Time(sim.Second))
+	merged := MergeTelemetry(a.Stats(20*sim.Time(sim.Second)), b.Stats(20*sim.Time(sim.Second)))
+	if len(merged) != 2 {
+		t.Fatalf("merged windows = %d, want 2", len(merged))
+	}
+	w0 := merged[0]
+	if w0.Requests != 2 || w0.ColdStarts != 1 {
+		t.Fatalf("merged window 0 = %+v", w0)
+	}
+	if w0.ColdRatio != 0.5 {
+		t.Fatalf("merged cold ratio = %v, want 0.5", w0.ColdRatio)
+	}
+	// Node a: 5 s of one GPU over 2x10 s = 0.25; node b idle; mean 0.125.
+	if w0.BusyFraction != 0.125 {
+		t.Fatalf("merged busy fraction = %v, want 0.125", w0.BusyFraction)
+	}
+	if w0.MeanQueueDepth != 3 {
+		t.Fatalf("merged queue depth = %v, want 3", w0.MeanQueueDepth)
+	}
+	if merged[1].Requests != 1 || merged[1].Evictions != 1 {
+		t.Fatalf("merged window 1 = %+v", merged[1])
+	}
+	if MergeTelemetry() != nil {
+		t.Fatal("empty merge not nil")
 	}
 }
 

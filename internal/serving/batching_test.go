@@ -5,6 +5,7 @@ import (
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
+	"deepplan/internal/faults"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
 	"deepplan/internal/workload"
@@ -77,6 +78,66 @@ func TestBatchingImprovesBurstTail(t *testing.T) {
 	// faster than 16 serial inferences.
 	if batched.Max >= serial.Max {
 		t.Fatalf("batched max %v not better than serial max %v", batched.Max, serial.Max)
+	}
+}
+
+// A GPU failure under a dynamic batch must re-dispatch the whole batch AND
+// everything coalesced into the instance's backlog (serving's abort path
+// hands retryOrShed reqs + backlog). Regression test: every request must be
+// accounted for exactly once — completed or shed, never lost or recorded
+// twice.
+func TestBatchAbortRedispatchesBacklog(t *testing.T) {
+	sched, err := faults.Parse("gpu=1@10ms+100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Topo: topology.P38xlarge(), Cost: costmodel.Default(),
+		Policy: PolicyDHA, SLO: 100 * sim.Millisecond, MaxBatch: 8,
+		Faults: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := srv.Deploy(m, 8); err != nil {
+		t.Fatal(err)
+	}
+	srv.Warmup()
+	// Instance 1 sits on GPU 1 after round-robin warmup. A simultaneous
+	// burst at it runs one request solo and coalesces the rest; GPU 1 dies
+	// at 10 ms with the batch (or the solo run plus its backlog) in flight.
+	const n = 10
+	reqs := make([]workload.Request, n)
+	for i := range reqs {
+		reqs[i].Instance = 1
+	}
+	rep, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GPUFailures != 1 {
+		t.Fatalf("GPUFailures = %d, want 1", rep.GPUFailures)
+	}
+	if rep.Retried < 2 {
+		t.Fatalf("Retried = %d; the aborted batch and its backlog should all retry", rep.Retried)
+	}
+	if rep.Requests != n {
+		t.Fatalf("Requests = %d, want %d", rep.Requests, n)
+	}
+	// Conservation: each request completes exactly once or is shed — the
+	// per-window series records completions only, so the window totals must
+	// equal submitted minus shed. Before the fix a lost (or double-recorded)
+	// backlog entry breaks this identity and Finish's accounting check.
+	recorded := 0
+	for _, ws := range rep.PerWindow {
+		recorded += ws.Requests
+	}
+	if recorded != n-rep.Shed {
+		t.Fatalf("windows recorded %d requests, want %d submitted - %d shed", recorded, n, rep.Shed)
+	}
+	if err := srv.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -38,6 +38,13 @@ type Config struct {
 	Topo   *topology.Topology
 	Cost   *costmodel.Params
 	Policy Policy
+	// Sim, when non-nil, drives the server from an externally owned virtual
+	// clock instead of a private one. The cluster layer uses this to run N
+	// independent nodes (each with its own topology, network, and engine)
+	// against one shared timeline; such a server is driven with Submit and
+	// Finish rather than Run (which would run the shared clock to
+	// completion).
+	Sim *sim.Simulator
 	// SLO is the target latency; the paper uses 100 ms.
 	SLO sim.Duration
 	// ReservePerGPU is GPU memory withheld from instance packing (runtime,
@@ -191,7 +198,10 @@ type Server struct {
 	traceSeq int64              // request ids for async lifecycle spans
 
 	digest          metrics.Digest
+	coldDigest      metrics.Digest // latency of requests served by a cold-start run
+	warmDigest      metrics.Digest
 	series          *metrics.Series
+	submitted       int
 	coldStarts      int
 	ptFallbacks     int
 	relocations     int
@@ -236,7 +246,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdmitFactor < 0 {
 		return nil, fmt.Errorf("serving: AdmitFactor must be non-negative, got %g", cfg.AdmitFactor)
 	}
-	s := sim.New()
+	s := cfg.Sim
+	if s == nil {
+		s = sim.New()
+	}
 	net := simnet.New(s)
 	srv := &Server{
 		cfg: cfg,
@@ -450,20 +463,92 @@ func (srv *Server) WarmCapacity() int {
 }
 
 // Run replays the request sequence to completion and returns the report.
+// Servers on a shared external clock (Config.Sim) are driven with Submit
+// and Finish instead.
 func (srv *Server) Run(requests []workload.Request) (*Report, error) {
 	for _, r := range requests {
 		if r.Instance < 0 || r.Instance >= len(srv.instances) {
 			return nil, fmt.Errorf("serving: request for unknown instance %d", r.Instance)
 		}
 		req := r
-		srv.sim.At(req.At, func() { srv.handle(req) })
+		srv.sim.At(req.At, func() {
+			srv.submitted++
+			srv.handle(req)
+		})
 	}
 	srv.sim.Run()
-	if srv.completed+srv.shed != len(requests) {
-		return nil, fmt.Errorf("serving: %d of %d requests completed (%d shed)",
-			srv.completed, len(requests), srv.shed)
+	return srv.Finish()
+}
+
+// Submit injects one request at the current virtual time. It is the
+// cluster router's entry point: the cluster schedules arrivals on the
+// shared clock and submits each to the node it routed to. The caller later
+// runs the shared simulator and calls Finish.
+func (srv *Server) Submit(req workload.Request) error {
+	if req.Instance < 0 || req.Instance >= len(srv.instances) {
+		return fmt.Errorf("serving: request for unknown instance %d", req.Instance)
 	}
-	return srv.report(len(requests)), nil
+	srv.submitted++
+	srv.handle(req)
+	return nil
+}
+
+// Finish validates that every submitted request was accounted for (served
+// or shed) and returns the report. It is called after the driving clock —
+// private (Run) or shared (cluster) — has run to quiescence.
+func (srv *Server) Finish() (*Report, error) {
+	if srv.completed+srv.shed != srv.submitted {
+		return nil, fmt.Errorf("serving: %d of %d requests completed (%d shed)",
+			srv.completed, srv.submitted, srv.shed)
+	}
+	return srv.report(srv.submitted), nil
+}
+
+// Outstanding returns the number of inference runs currently queued or
+// executing across all GPUs — the router's primary load signal.
+func (srv *Server) Outstanding() int {
+	n := 0
+	for _, g := range srv.gpus {
+		n += g.queued
+	}
+	return n
+}
+
+// DownGPUs returns how many GPUs are currently failed by fault injection.
+// A node with every GPU down cannot serve and routers skip it.
+func (srv *Server) DownGPUs() int {
+	n := 0
+	for _, g := range srv.gpus {
+		if g.down {
+			n++
+		}
+	}
+	return n
+}
+
+// NumGPUs returns the node's GPU count.
+func (srv *Server) NumGPUs() int { return len(srv.gpus) }
+
+// WarmInstances returns how many deployed instances of the named model are
+// currently GPU-resident — the router's locality signal.
+func (srv *Server) WarmInstances(model string) int {
+	n := 0
+	for _, inst := range srv.instances {
+		if inst.state == Warm && inst.dep.Model.Name == model {
+			n++
+		}
+	}
+	return n
+}
+
+// ColdStartCount returns the cumulative cold-start count so far; the
+// cluster autoscaler differences it per window for its cold-ratio signal.
+func (srv *Server) ColdStartCount() int { return srv.coldStarts }
+
+// Digests exposes the latency digests (all / cold-served / warm-served)
+// for cluster-level merging. Read-only use after the run has finished.
+func (srv *Server) Digests() (all, cold, warm *metrics.Digest) {
+	return &srv.digest, &srv.coldDigest, &srv.warmDigest
 }
 
 // handle routes one arrival.
@@ -799,6 +884,10 @@ func (srv *Server) startCold(inst *Instance, p pending) {
 				return
 			}
 			srv.record(p.req, res, true)
+			// With dynamic batching, warm arrivals during the load coalesced
+			// into the backlog; launch them now or they are stranded (the
+			// warm completion path does this via releaseBacklog too).
+			srv.releaseBacklog(inst)
 			srv.drainWaitlist()
 		},
 	}
@@ -904,6 +993,11 @@ func (srv *Server) pickSecondary(primary int) *gpuState {
 func (srv *Server) record(req workload.Request, res *engine.Result, cold bool) {
 	lat := res.Finish.Sub(req.At)
 	srv.digest.Add(lat)
+	if cold {
+		srv.coldDigest.Add(lat)
+	} else {
+		srv.warmDigest.Add(lat)
+	}
 	srv.series.Record(req.At, lat, cold)
 	srv.completed++
 	if srv.inj != nil && srv.inj.Active() > 0 {
@@ -1043,9 +1137,16 @@ type Report struct {
 	Requests      int
 	P50, P99, Max sim.Duration
 	Mean          sim.Duration
-	Goodput       float64 // fraction of requests within the SLO
-	ColdStarts    int
-	ColdStartRate float64
+	// ColdP50/ColdP99 are percentiles over requests served by a cold-start
+	// run (zero when no request went cold); WarmP99 covers the rest. The
+	// split is what cluster routing policies trade off: spreading load
+	// shortens queues but forfeits residency, so the cold tail is where a
+	// router earns or loses its keep.
+	ColdP50, ColdP99 sim.Duration
+	WarmP99          sim.Duration
+	Goodput          float64 // fraction of requests within the SLO
+	ColdStarts       int
+	ColdStartRate    float64
 	// PTFallbacks counts cold-starts that degraded to the single-GPU plan
 	// because no transmission partner was free.
 	PTFallbacks int
@@ -1084,6 +1185,9 @@ func (srv *Server) report(n int) *Report {
 		P99:             srv.digest.P99(),
 		Max:             srv.digest.Max(),
 		Mean:            srv.digest.Mean(),
+		ColdP50:         srv.coldDigest.P50(),
+		ColdP99:         srv.coldDigest.P99(),
+		WarmP99:         srv.warmDigest.P99(),
 		Goodput:         srv.digest.GoodputRate(srv.cfg.SLO),
 		ColdStarts:      srv.coldStarts,
 		ColdStartRate:   float64(srv.coldStarts) / float64(n),
@@ -1098,10 +1202,10 @@ func (srv *Server) report(n int) *Report {
 		Degraded:        srv.degraded,
 		GPUFailures:     srv.gpuFailures,
 		WarmCapacity:    srv.WarmCapacity(),
-		PerWindow:       srv.series.Stats(),
+		PerWindow:       srv.series.Stats(srv.sim.Now()),
 	}
 	if srv.tel != nil {
-		r.Telemetry = srv.tel.Stats()
+		r.Telemetry = srv.tel.Stats(srv.sim.Now())
 	}
 	return r
 }

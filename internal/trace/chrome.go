@@ -102,6 +102,12 @@ func WriteChrome(w io.Writer, r *Recorder, meta map[string]string) error {
 			case ServerPID:
 				name = "server"
 			}
+			// Node views register display names for their remapped pids
+			// ("node0 GPU1", "node1 fabric", ...) so multi-node traces show
+			// one labelled track group per node.
+			if nm, ok := r.sink().pidNames[e.PID]; ok {
+				name = nm
+			}
 			if err := emit(map[string]any{
 				"name": "process_name", "ph": "M", "pid": p, "tid": 0,
 				"args": map[string]any{"name": name},

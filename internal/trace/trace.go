@@ -18,6 +18,8 @@
 package trace
 
 import (
+	"fmt"
+
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
 )
@@ -73,13 +75,102 @@ type Event struct {
 
 // Recorder accumulates events in memory. The zero value is usable; a nil
 // *Recorder is the disabled state and accepts (and drops) every call.
+//
+// A Recorder may also be a node view (see Node): a lightweight handle that
+// remaps PIDs into a per-node range and appends into its root recorder's
+// event stream. Node views let N independent serving nodes share one
+// timeline — each node's GPUs, fabric, and server become distinct Perfetto
+// processes instead of colliding on GPU ids.
 type Recorder struct {
 	events  []Event
 	asyncID int64
+	// pidNames carries display names for remapped process ids (registered
+	// by Node); the Chrome exporter consults it before its default naming.
+	pidNames map[int]string
+
+	// Node-view fields; zero for a root recorder.
+	root    *Recorder // non-nil marks this recorder as a view into root
+	node    int
+	pidBase int
+	numGPUs int
 }
 
 // New returns an empty, enabled Recorder.
 func New() *Recorder { return &Recorder{} }
+
+// sink returns the recorder that owns the event storage: the root for a
+// node view, r itself otherwise.
+func (r *Recorder) sink() *Recorder {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// mapPID translates a caller-side process id through the view's node range.
+// Root recorders are the identity. Views shift real GPU ids by the node's
+// base and give the fabric/server pseudo-processes per-node positive ids
+// (the exporter's negative-pid remapping is for the root's single-node use).
+func (r *Recorder) mapPID(pid int) int {
+	if r.root == nil {
+		return pid
+	}
+	switch pid {
+	case FabricPID:
+		return r.pidBase + r.numGPUs
+	case ServerPID:
+		return r.pidBase + r.numGPUs + 1
+	default:
+		return r.pidBase + pid
+	}
+}
+
+// add maps the event's PID through the view and appends it to the owning
+// recorder. Callers have already nil-checked r.
+func (r *Recorder) add(e Event) {
+	e.PID = r.mapPID(e.PID)
+	s := r.sink()
+	s.events = append(s.events, e)
+}
+
+// Node returns a view of r for cluster node n of servers with numGPUs GPUs
+// each: events recorded through the view land in r with their PIDs shifted
+// into the node's range, and the node's GPU/fabric/server processes are
+// registered with "node<n> ..." display names so Perfetto shows one track
+// group per node. A nil recorder returns nil (tracing stays disabled);
+// views of views share the same root.
+func (r *Recorder) Node(n, numGPUs int) *Recorder {
+	if r == nil {
+		return nil
+	}
+	root := r.sink()
+	stride := numGPUs + 2 // GPUs plus per-node fabric and server processes
+	v := &Recorder{root: root, node: n, pidBase: n * stride, numGPUs: numGPUs}
+	if root.pidNames == nil {
+		root.pidNames = make(map[int]string)
+	}
+	for g := 0; g < numGPUs; g++ {
+		root.pidNames[v.pidBase+g] = fmt.Sprintf("node%d GPU%d", n, g)
+	}
+	root.pidNames[v.pidBase+numGPUs] = fmt.Sprintf("node%d fabric", n)
+	root.pidNames[v.pidBase+numGPUs+1] = fmt.Sprintf("node%d server", n)
+	return v
+}
+
+// NamePID registers a display name for a process id, overriding the Chrome
+// exporter's default naming ("GPU n", "server", ...). The cluster layer
+// names its router process with this; Node registers its per-node names
+// through the same table.
+func (r *Recorder) NamePID(pid int, name string) {
+	if r == nil {
+		return
+	}
+	root := r.sink()
+	if root.pidNames == nil {
+		root.pidNames = make(map[int]string)
+	}
+	root.pidNames[r.mapPID(pid)] = name
+}
 
 // Enabled reports whether events are being recorded.
 func (r *Recorder) Enabled() bool { return r != nil }
@@ -89,24 +180,27 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.events)
+	return len(r.sink().events)
 }
 
 // Events exposes the recorded events in insertion order (read-only use).
+// For a node view this is the root's full stream.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	return r.sink().events
 }
 
-// NextID hands out a fresh async-span ID.
+// NextID hands out a fresh async-span ID, unique across all views of the
+// same root.
 func (r *Recorder) NextID() int64 {
 	if r == nil {
 		return 0
 	}
-	r.asyncID++
-	return r.asyncID
+	s := r.sink()
+	s.asyncID++
+	return s.asyncID
 }
 
 // Span records a complete span [start, end) on the given track.
@@ -114,7 +208,7 @@ func (r *Recorder) Span(pid, tid int, cat, name string, start, end sim.Time) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseSpan, PID: pid, TID: tid, TS: start,
 		Dur: end.Sub(start), Name: name, Cat: cat,
 	})
@@ -126,7 +220,7 @@ func (r *Recorder) SpanArgs(pid, tid int, cat, name string, start, end sim.Time,
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseSpan, PID: pid, TID: tid, TS: start,
 		Dur: end.Sub(start), Name: name, Cat: cat, Args: args,
 	})
@@ -137,7 +231,7 @@ func (r *Recorder) Instant(pid, tid int, cat, name string, at sim.Time) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseInstant, PID: pid, TID: tid, TS: at, Name: name, Cat: cat,
 	})
 }
@@ -147,7 +241,7 @@ func (r *Recorder) InstantArgs(pid, tid int, cat, name string, at sim.Time, args
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseInstant, PID: pid, TID: tid, TS: at, Name: name, Cat: cat, Args: args,
 	})
 }
@@ -157,7 +251,7 @@ func (r *Recorder) Counter(pid int, name string, at sim.Time, value float64) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseCounter, PID: pid, TID: TIDCounter, TS: at, Name: name, Value: value,
 	})
 }
@@ -169,7 +263,7 @@ func (r *Recorder) AsyncBegin(pid int, cat, name string, id int64, at sim.Time, 
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseAsyncBegin, PID: pid, TID: TIDLifecycle, TS: at,
 		ID: id, Name: name, Cat: cat, Args: args,
 	})
@@ -180,7 +274,7 @@ func (r *Recorder) AsyncEnd(pid int, cat, name string, id int64, at sim.Time) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{
+	r.add(Event{
 		Phase: PhaseAsyncEnd, PID: pid, TID: TIDLifecycle, TS: at,
 		ID: id, Name: name, Cat: cat,
 	})

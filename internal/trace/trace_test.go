@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"deepplan/internal/sim"
@@ -139,5 +141,58 @@ func TestAttachNetworkChangeOnly(t *testing.T) {
 	}
 	if len(samples) != 2 || samples[0] != 1e9 || samples[1] != 0 {
 		t.Fatalf("samples = %v; want exactly [1e9, 0] (change-only)", samples)
+	}
+}
+
+// Node views remap PIDs into disjoint per-node ranges, append into the
+// root's stream, and hand out async IDs unique across the whole cluster.
+func TestNodeViewsShareRootWithDisjointPIDs(t *testing.T) {
+	root := New()
+	n0 := root.Node(0, 4)
+	n1 := root.Node(1, 4)
+
+	n0.Instant(2, TIDLifecycle, "serving", "a", 1)
+	n1.Instant(2, TIDLifecycle, "serving", "b", 2)
+	n0.Counter(FabricPID, "bw", 3, 1.5)
+	n1.Instant(ServerPID, TIDLifecycle, "serving", "c", 4)
+
+	if root.Len() != 4 || n0.Len() != 4 || n1.Len() != 4 {
+		t.Fatalf("lens = %d/%d/%d, want 4 everywhere", root.Len(), n0.Len(), n1.Len())
+	}
+	ev := root.Events()
+	// Stride is numGPUs+2 = 6: node0 GPUs are pids 0-3 (fabric 4, server 5),
+	// node1 GPUs are pids 6-9 (fabric 10, server 11).
+	wantPIDs := []int{2, 8, 4, 11}
+	for i, want := range wantPIDs {
+		if ev[i].PID != want {
+			t.Errorf("event %d pid = %d, want %d", i, ev[i].PID, want)
+		}
+	}
+	if a, b := n0.NextID(), n1.NextID(); a == b {
+		t.Fatalf("async ids collide across views: %d", a)
+	}
+
+	var nilRec *Recorder
+	if nilRec.Node(0, 4) != nil {
+		t.Fatal("nil recorder's node view must stay nil (disabled)")
+	}
+}
+
+// The Chrome exporter must name node-view processes from the registered
+// pid names so Perfetto shows per-node track groups.
+func TestWriteChromeNamesNodeProcesses(t *testing.T) {
+	root := New()
+	n1 := root.Node(1, 2)
+	n1.Instant(0, TIDLifecycle, "serving", "x", 1)
+	n1.Counter(FabricPID, "bw", 2, 1)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, root, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"node1 GPU0"`, `"node1 fabric"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing process name %s", want)
+		}
 	}
 }
