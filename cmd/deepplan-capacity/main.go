@@ -1,0 +1,96 @@
+// deepplan-capacity is the SLO-driven capacity planner: it saturation-
+// searches every cluster configuration in a grid (topology preset x node
+// count x cold-start plan policy x batching x routing x autoscaling) for
+// the maximum request rate it sustains inside the latency SLO, prices each
+// configuration in dollars per hour, and prints the cost-vs-capacity Pareto
+// frontier, the cheapest configuration sustaining -target-rps inside
+// -budget, and the DeepPlan-vs-PipeSwitch capacity gap.
+//
+// Usage:
+//
+//	deepplan-capacity [-slo 300ms] [-target-rps 100] [-budget 15]
+//	                  [-workload poisson|maf] [-skew 1.0]
+//	                  [-json] [-quick] [-parallel [-workers N]]
+//
+// Stdout is a pure function of the flags: the table (or, with -json, the
+// plan document) is byte-identical serially, with -parallel, and across
+// reruns. -parallel only fans independent grid points across a worker
+// pool; every simulation still runs single-threaded on its own virtual
+// clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepplan/internal/capacity"
+	"deepplan/internal/experiments/runner"
+	"deepplan/internal/sim"
+)
+
+func main() {
+	slo := flag.Duration("slo", 300*time.Millisecond, "latency SLO for cold and warm p99")
+	targetRPS := flag.Int("target-rps", 100, "target sustained rate the recommendation must meet (0 disables)")
+	budget := flag.Float64("budget", 0, "max $/hr for the recommendation (0 = unlimited)")
+	goodput := flag.Float64("goodput", 0.95, "minimum fraction of requests inside the SLO")
+	workloadKind := flag.String("workload", capacity.WorkloadPoisson, "arrival process: poisson or maf")
+	skew := flag.Float64("skew", 0, "Zipf exponent for instance popularity (poisson only, 0 = uniform)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	model := flag.String("model", "bert-base", "model deployed on every node")
+	replicas := flag.Int("replicas", 150, "model replicas per node")
+	window := flag.Duration("duration", 6*time.Second, "offered-load window per probe")
+	maxRate := flag.Int("max-rate", 640, "upper bound of the saturation search (rps)")
+	step := flag.Int("step", 20, "saturation search resolution (rps)")
+	autoscale := flag.Bool("autoscale", false, "also search autoscaled variants (replica-second billing)")
+	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of the table")
+	quick := flag.Bool("quick", false, "shrink the search for a fast smoke pass")
+	parallel := flag.Bool("parallel", false, "saturate independent grid points concurrently")
+	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
+	flag.Parse()
+
+	spec := capacity.SearchSpec{
+		SLO:           sim.Duration(*slo),
+		GoodputTarget: *goodput,
+		Workload:      *workloadKind,
+		Seed:          *seed,
+		Skew:          *skew,
+		Duration:      sim.Duration(*window),
+		Model:         *model,
+		Replicas:      *replicas,
+		MaxRate:       *maxRate,
+		Step:          *step,
+	}
+	if *quick {
+		spec.Duration = 2 * sim.Second
+		spec.MinRate = 20
+		spec.MaxRate = 180
+		spec.Step = 40
+	}
+
+	space := capacity.DefaultSpace()
+	if *autoscale {
+		space.Autoscale = []bool{false, true}
+	}
+
+	pool := 1
+	if *parallel {
+		pool = runner.Workers(*workers)
+	}
+
+	results, err := capacity.Sweep(space, spec, capacity.DefaultPricing(), pool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+		os.Exit(1)
+	}
+	plan := capacity.Analyze(spec, results, *targetRPS, *budget)
+	if *jsonOut {
+		if err := plan.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	plan.WriteTable(os.Stdout)
+}

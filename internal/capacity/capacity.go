@@ -1,0 +1,467 @@
+// Package capacity is the SLO-driven what-if planner over cluster
+// configurations: it answers the operator question the paper's evaluation
+// only gestures at — "what is the cheapest cluster that sustains R
+// requests/second at SLO S?" — by treating the deterministic cluster
+// simulator as a black-box oracle.
+//
+// Three pieces compose:
+//
+//   - a config space (Space): nodes x topology preset x cold-start policy x
+//     batching x routing policy x autoscaling, enumerated as Points in a
+//     fixed grid order;
+//   - a dollar-cost model (Pricing): $/hr per topology preset per node,
+//     prorated by the autoscaler's billed replica-seconds when a point runs
+//     with autoscaling (serverless-style billing);
+//   - a saturation search (Saturate): binary search over offered load for
+//     the maximum rate at which the config still meets the SLO — goodput at
+//     or above target, cold and warm p99 inside the SLO, nothing shed.
+//
+// Sweep fans the grid across the experiments worker pool (each point builds
+// its own simulators, so points share nothing) and Analyze derives the
+// cost-vs-capacity Pareto frontier, the cheapest configuration meeting a
+// target rate, and the DeepPlan-vs-PipeSwitch capacity gap the paper's §5.3
+// predicts. Everything is a pure function of (grid, spec, seed): the same
+// inputs produce byte-identical plans serially, in parallel, and across
+// reruns — the same guarantee every experiment in this repository makes,
+// and the property LLMServingSim-class simulators sell for design-space
+// exploration.
+package capacity
+
+import (
+	"fmt"
+
+	"deepplan/internal/cluster"
+	"deepplan/internal/dnn"
+	"deepplan/internal/experiments/runner"
+	"deepplan/internal/serving"
+	"deepplan/internal/sim"
+	"deepplan/internal/topology"
+	"deepplan/internal/workload"
+)
+
+// Point is one cluster configuration in the search grid.
+type Point struct {
+	// Topology names a hardware preset: "p3.8xlarge", "dual-a5000-pcie4",
+	// or "dgx-1v".
+	Topology string `json:"topology"`
+	// Nodes is the number of identical serving nodes behind the router.
+	Nodes int `json:"nodes"`
+	// Policy is the cold-start plan policy (the paper's legends).
+	Policy serving.Policy `json:"policy"`
+	// Route is the front-end routing policy.
+	Route cluster.RoutePolicy `json:"route"`
+	// MaxBatch is the per-node dynamic-batching limit (1 disables).
+	MaxBatch int `json:"max_batch"`
+	// Autoscale runs the reactive replica controller from a 1-replica
+	// floor; billing is then prorated by replica-seconds.
+	Autoscale bool `json:"autoscale"`
+}
+
+// String renders the point as a compact single-line label.
+func (p Point) String() string {
+	s := fmt.Sprintf("%s x%d %s %s mb%d", p.Topology, p.Nodes, p.Policy, p.Route, p.MaxBatch)
+	if p.Autoscale {
+		s += " auto"
+	}
+	return s
+}
+
+// coords identifies everything about the point except the plan policy; the
+// DeepPlan-vs-PipeSwitch gap is computed between points sharing coords.
+func (p Point) coords() Point {
+	p.Policy = ""
+	return p
+}
+
+// Space is the cartesian config grid. Zero-length dimensions are invalid;
+// use DefaultSpace for the standard grid.
+type Space struct {
+	Topologies []string              `json:"topologies"`
+	Nodes      []int                 `json:"nodes"`
+	Policies   []serving.Policy      `json:"policies"`
+	Routes     []cluster.RoutePolicy `json:"routes"`
+	MaxBatches []int                 `json:"max_batches"`
+	Autoscale  []bool                `json:"autoscale"`
+}
+
+// DefaultSpace is the grid deepplan-capacity and fig-capacity search by
+// default: both evaluation platforms, one and two nodes, the three
+// competitive plan policies, load-aware routing, no batching, no
+// autoscaling.
+func DefaultSpace() Space {
+	return Space{
+		Topologies: []string{"p3.8xlarge", "dual-a5000-pcie4"},
+		Nodes:      []int{1, 2},
+		Policies:   []serving.Policy{serving.PolicyPipeSwitch, serving.PolicyDHA, serving.PolicyPTDHA},
+		Routes:     []cluster.RoutePolicy{cluster.RouteLeastOutstanding},
+		MaxBatches: []int{1},
+		Autoscale:  []bool{false},
+	}
+}
+
+// Points enumerates the grid in a fixed nesting order (topology, nodes,
+// policy, route, max-batch, autoscale) — the order every sweep, table, and
+// byte-identity guarantee is defined over.
+func (s Space) Points() []Point {
+	var out []Point
+	for _, topo := range s.Topologies {
+		for _, n := range s.Nodes {
+			for _, pol := range s.Policies {
+				for _, rt := range s.Routes {
+					for _, mb := range s.MaxBatches {
+						for _, as := range s.Autoscale {
+							out = append(out, Point{
+								Topology: topo, Nodes: n, Policy: pol,
+								Route: rt, MaxBatch: mb, Autoscale: as,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pricing maps a topology preset to its on-demand dollar cost per node-hour.
+type Pricing map[string]float64
+
+// DefaultPricing anchors the dollar model: the p3.8xlarge at AWS's
+// on-demand rate, the dual-A5000 workstation at a typical GPU-cloud rate
+// for two A5000s, and the DGX-1V at twice the p3.8xlarge (eight V100s vs
+// four).
+func DefaultPricing() Pricing {
+	return Pricing{
+		"p3.8xlarge":       12.24,
+		"dual-a5000-pcie4": 2.20,
+		"dgx-1v":           24.48,
+	}
+}
+
+// topologyFactory resolves a preset name to its constructor.
+func topologyFactory(name string) (func() *topology.Topology, error) {
+	switch name {
+	case "p3.8xlarge":
+		return topology.P38xlarge, nil
+	case "dual-a5000-pcie4":
+		return topology.DualA5000PCIe4, nil
+	case "dgx-1v":
+		return topology.DGX1, nil
+	default:
+		return nil, fmt.Errorf("capacity: unknown topology preset %q", name)
+	}
+}
+
+// Workload kinds for the saturation oracle.
+const (
+	// WorkloadPoisson offers open-loop Poisson arrivals (optionally
+	// Zipf-skewed across replicas via SearchSpec.Skew).
+	WorkloadPoisson = "poisson"
+	// WorkloadMAF offers a synthetic Azure-Functions-like trace at the
+	// candidate rate.
+	WorkloadMAF = "maf"
+)
+
+// SearchSpec parameterizes the saturation search. The zero value is
+// completed by withDefaults; every field is part of the deterministic
+// cache key of a plan.
+type SearchSpec struct {
+	// SLO is the latency target both percentile gates use. Default 300 ms.
+	SLO sim.Duration `json:"slo_ns"`
+	// GoodputTarget is the minimum fraction of requests inside the SLO for
+	// a rate to count as sustained. Default 0.95.
+	GoodputTarget float64 `json:"goodput_target"`
+	// Workload is WorkloadPoisson (default) or WorkloadMAF.
+	Workload string `json:"workload"`
+	// Seed drives the arrival generator at every probed rate.
+	Seed int64 `json:"seed"`
+	// Skew, when positive, Zipf-skews instance popularity (Poisson only).
+	Skew float64 `json:"skew"`
+	// Duration is the offered-load window; each probe replays
+	// rate x Duration requests. Default 8 s.
+	Duration sim.Duration `json:"duration_ns"`
+	// Model is deployed on every node. Default bert-base.
+	Model string `json:"model"`
+	// Replicas per node; the default 150 exceeds a p3.8xlarge's BERT-Base
+	// warm capacity, so cold starts are structural and plan choice matters.
+	Replicas int `json:"replicas"`
+	// MinRate/MaxRate bound the binary search (requests/second); Step is
+	// its resolution. Defaults 10 / 1200 / 10.
+	MinRate int `json:"min_rate"`
+	MaxRate int `json:"max_rate"`
+	Step    int `json:"step"`
+}
+
+func (s SearchSpec) withDefaults() SearchSpec {
+	if s.SLO <= 0 {
+		s.SLO = 300 * sim.Millisecond
+	}
+	if s.GoodputTarget <= 0 {
+		s.GoodputTarget = 0.95
+	}
+	if s.Workload == "" {
+		s.Workload = WorkloadPoisson
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Duration <= 0 {
+		s.Duration = 8 * sim.Second
+	}
+	if s.Model == "" {
+		s.Model = "bert-base"
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 150
+	}
+	if s.MinRate <= 0 {
+		s.MinRate = 10
+	}
+	if s.MaxRate <= s.MinRate {
+		s.MaxRate = s.MinRate + 1190
+	}
+	if s.Step <= 0 {
+		s.Step = 10
+	}
+	return s
+}
+
+// requests generates the arrival sequence offered at the probed rate. The
+// sequence is a pure function of (spec, rate): the oracle never shares
+// state between probes.
+func (s SearchSpec) requests(rate int) ([]cluster.Request, error) {
+	var raw []workload.Request
+	switch s.Workload {
+	case WorkloadPoisson:
+		n := int(float64(rate)*s.Duration.Seconds() + 0.5)
+		raw = workload.PoissonZipf(s.Seed, float64(rate), n, s.Replicas, s.Skew)
+	case WorkloadMAF:
+		tr, err := workload.MAFLike(workload.TraceSpec{
+			Seed:         s.Seed,
+			Duration:     s.Duration,
+			TotalRate:    float64(rate),
+			NumFunctions: s.Replicas,
+		})
+		if err != nil {
+			return nil, err
+		}
+		raw = tr.Requests
+	default:
+		return nil, fmt.Errorf("capacity: unknown workload %q", s.Workload)
+	}
+	model, err := dnn.ByName(s.Model)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cluster.Request, len(raw))
+	for i, r := range raw {
+		out[i] = cluster.Request{At: r.At, Model: model.Name, Key: r.Instance}
+	}
+	return out, nil
+}
+
+// probe is one oracle evaluation: the cluster's behaviour at a single
+// offered rate.
+type probe struct {
+	feasible      bool
+	goodput       float64
+	p99           sim.Duration
+	coldP99       sim.Duration
+	warmP99       sim.Duration
+	coldStarts    int
+	activeSeconds float64
+	maxSeconds    float64
+}
+
+// evaluate runs one fresh cluster at the probed rate and gates it against
+// the spec: sustained means goodput at target, cold and warm p99 inside
+// the SLO, and nothing shed.
+func evaluate(pt Point, spec SearchSpec, rate int) (probe, error) {
+	newTopo, err := topologyFactory(pt.Topology)
+	if err != nil {
+		return probe{}, err
+	}
+	var as cluster.AutoscaleConfig
+	if pt.Autoscale {
+		as = cluster.AutoscaleConfig{Enabled: true, Interval: sim.Second}
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:       pt.Nodes,
+		NewTopology: newTopo,
+		Policy:      pt.Policy,
+		Route:       pt.Route,
+		SLO:         spec.SLO,
+		MaxBatch:    pt.MaxBatch,
+		Autoscale:   as,
+	})
+	if err != nil {
+		return probe{}, err
+	}
+	model, err := dnn.ByName(spec.Model)
+	if err != nil {
+		return probe{}, err
+	}
+	if err := c.Deploy(model, spec.Replicas); err != nil {
+		return probe{}, err
+	}
+	c.Warmup()
+	reqs, err := spec.requests(rate)
+	if err != nil {
+		return probe{}, err
+	}
+	rep, err := c.Run(reqs)
+	if err != nil {
+		return probe{}, err
+	}
+	p := probe{
+		goodput:    rep.Goodput,
+		p99:        rep.P99,
+		coldP99:    rep.ColdP99,
+		warmP99:    rep.WarmP99,
+		coldStarts: rep.ColdStarts,
+	}
+	for _, rs := range rep.Replicas {
+		p.activeSeconds += rs.ActiveSeconds
+		p.maxSeconds += float64(rs.Max) * rep.Horizon.Seconds()
+	}
+	p.feasible = rep.Goodput >= spec.GoodputTarget &&
+		rep.ColdP99 <= spec.SLO &&
+		rep.WarmP99 <= spec.SLO &&
+		rep.Shed == 0
+	return p, nil
+}
+
+// Result is one grid point's saturation outcome with its dollar economics.
+// Latency fields describe the run at the sustained rate (or at MinRate when
+// the point cannot sustain even that).
+type Result struct {
+	Point Point `json:"point"`
+	// SustainedRPS is the highest probed rate meeting every gate; 0 when
+	// the point fails at MinRate.
+	SustainedRPS int `json:"sustained_rps"`
+	// CostPerHour is nodes x preset $/hr, prorated by Utilization for
+	// autoscaled points.
+	CostPerHour float64 `json:"cost_per_hour"`
+	// RPSPerDollar is the headline value metric: sustained rps per $/hr.
+	RPSPerDollar float64 `json:"rps_per_dollar"`
+	// Utilization is billed replica-seconds over deployed replica-seconds
+	// at the sustained rate (1 with autoscaling off).
+	Utilization float64 `json:"utilization"`
+	Goodput     float64 `json:"goodput"`
+	P99Ms       float64 `json:"p99_ms"`
+	ColdP99Ms   float64 `json:"cold_p99_ms"`
+	WarmP99Ms   float64 `json:"warm_p99_ms"`
+	ColdStarts  int     `json:"cold_starts"`
+	// Evals counts oracle runs the binary search spent on this point.
+	Evals int `json:"evals"`
+	// OnFrontier marks cost-vs-capacity Pareto-optimal points (set by
+	// Analyze).
+	OnFrontier bool `json:"on_frontier"`
+}
+
+// Saturate binary-searches offered load for the point's maximum sustainable
+// rate under the spec and prices the result. The search maintains a
+// known-good low and known-bad high rate; each probe builds a fresh
+// cluster, so the sequence of probes — and therefore the result — is a
+// pure function of (point, spec).
+func Saturate(pt Point, spec SearchSpec, pricing Pricing) (Result, error) {
+	spec = spec.withDefaults()
+	price, ok := pricing[pt.Topology]
+	if !ok {
+		return Result{}, fmt.Errorf("capacity: no price for topology %q", pt.Topology)
+	}
+	cache := map[int]probe{}
+	evals := 0
+	eval := func(rate int) (probe, error) {
+		if p, ok := cache[rate]; ok {
+			return p, nil
+		}
+		p, err := evaluate(pt, spec, rate)
+		if err != nil {
+			return probe{}, err
+		}
+		cache[rate] = p
+		evals++
+		return p, nil
+	}
+
+	sustained := 0
+	if p, err := eval(spec.MinRate); err != nil {
+		return Result{}, err
+	} else if p.feasible {
+		sustained = spec.MinRate
+		if p, err := eval(spec.MaxRate); err != nil {
+			return Result{}, err
+		} else if p.feasible {
+			sustained = spec.MaxRate
+		} else {
+			lo, hi := spec.MinRate, spec.MaxRate
+			for hi-lo > spec.Step {
+				mid := lo + (hi-lo)/2
+				p, err := eval(mid)
+				if err != nil {
+					return Result{}, err
+				}
+				if p.feasible {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			sustained = lo
+		}
+	}
+
+	// Describe the run at the sustained rate (MinRate when unsustainable —
+	// the probe that proved infeasibility).
+	at := sustained
+	if at == 0 {
+		at = spec.MinRate
+	}
+	p := cache[at]
+	r := Result{
+		Point:        pt,
+		SustainedRPS: sustained,
+		Utilization:  1,
+		Goodput:      p.goodput,
+		P99Ms:        p.p99.Seconds() * 1e3,
+		ColdP99Ms:    p.coldP99.Seconds() * 1e3,
+		WarmP99Ms:    p.warmP99.Seconds() * 1e3,
+		ColdStarts:   p.coldStarts,
+		Evals:        evals,
+	}
+	r.CostPerHour = price * float64(pt.Nodes)
+	if pt.Autoscale && p.maxSeconds > 0 {
+		r.Utilization = p.activeSeconds / p.maxSeconds
+		r.CostPerHour *= r.Utilization
+	}
+	if r.CostPerHour > 0 {
+		r.RPSPerDollar = float64(sustained) / r.CostPerHour
+	}
+	return r, nil
+}
+
+// Sweep saturates every grid point across a bounded worker pool (0 or 1
+// workers computes serially). Points share nothing — each probe builds its
+// own simulator, topologies, and workload — so the result slice is
+// byte-identical for every worker count, the same guarantee the experiment
+// harness makes.
+func Sweep(space Space, spec SearchSpec, pricing Pricing, workers int) ([]Result, error) {
+	points := space.Points()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("capacity: empty config space")
+	}
+	results := make([]Result, len(points))
+	err := runner.ForEach(workers, len(points), func(i int) error {
+		r, err := Saturate(points[i], spec, pricing)
+		if err != nil {
+			return fmt.Errorf("%s: %w", points[i], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,234 @@
+package capacity
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"deepplan/internal/serving"
+)
+
+// Gap quantifies the DeepPlan-vs-PipeSwitch capacity gap for one set of
+// non-policy coordinates: how much more load (and load per dollar) the
+// paper's full plan sustains than the PipeSwitch baseline on identical
+// hardware under the identical SLO.
+type Gap struct {
+	// Coords labels the shared configuration (topology, nodes, route,
+	// batching, autoscaling).
+	Coords string `json:"coords"`
+	// DeepPlanRPS / BaselineRPS are the sustained rates of pt+dha and
+	// pipeswitch on those coordinates.
+	DeepPlanRPS int `json:"deepplan_rps"`
+	BaselineRPS int `json:"baseline_rps"`
+	// DeepPlanValue / BaselineValue are the corresponding rps per $/hr.
+	DeepPlanValue float64 `json:"deepplan_rps_per_dollar"`
+	BaselineValue float64 `json:"baseline_rps_per_dollar"`
+	// CapacityRatio and ValueRatio are DeepPlan over baseline; 0 means the
+	// baseline sustained nothing and the ratio is undefined (reported as
+	// "baseline unsustainable").
+	CapacityRatio float64 `json:"capacity_ratio"`
+	ValueRatio    float64 `json:"value_ratio"`
+}
+
+// Plan is a complete capacity-planning answer: every grid result with
+// Pareto marking, the cheapest configuration meeting the target, and the
+// DeepPlan-vs-PipeSwitch gaps.
+type Plan struct {
+	SLOMs         float64  `json:"slo_ms"`
+	GoodputTarget float64  `json:"goodput_target"`
+	Workload      string   `json:"workload"`
+	Model         string   `json:"model"`
+	Replicas      int      `json:"replicas_per_node"`
+	TargetRPS     int      `json:"target_rps"`
+	BudgetPerHour float64  `json:"budget_per_hour"`
+	Results       []Result `json:"results"`
+	// Recommendation is the cheapest config sustaining TargetRPS inside
+	// the budget; nil when the grid has none.
+	Recommendation *Result `json:"recommendation"`
+	Gaps           []Gap   `json:"gaps"`
+}
+
+// Analyze derives the Pareto frontier, the recommendation, and the policy
+// gaps from a sweep. targetRPS selects the recommendation ("cheapest config
+// sustaining at least this"); budgetPerHour, when positive, caps the
+// recommendation's cost. The input slice is kept in grid order; only
+// OnFrontier flags are written into it.
+func Analyze(spec SearchSpec, results []Result, targetRPS int, budgetPerHour float64) *Plan {
+	spec = spec.withDefaults()
+	plan := &Plan{
+		SLOMs:         spec.SLO.Seconds() * 1e3,
+		GoodputTarget: spec.GoodputTarget,
+		Workload:      spec.Workload,
+		Model:         spec.Model,
+		Replicas:      spec.Replicas,
+		TargetRPS:     targetRPS,
+		BudgetPerHour: budgetPerHour,
+		Results:       results,
+	}
+
+	// Pareto frontier over (cost, capacity): a point is dominated when a
+	// strictly better-or-equal point exists that beats it on at least one
+	// axis. Zero-capacity points never make the frontier.
+	for i := range results {
+		a := &results[i]
+		if a.SustainedRPS == 0 {
+			a.OnFrontier = false
+			continue
+		}
+		dominated := false
+		for j := range results {
+			if i == j {
+				continue
+			}
+			b := &results[j]
+			if b.CostPerHour <= a.CostPerHour && b.SustainedRPS >= a.SustainedRPS &&
+				(b.CostPerHour < a.CostPerHour || b.SustainedRPS > a.SustainedRPS) {
+				dominated = true
+				break
+			}
+		}
+		a.OnFrontier = !dominated
+	}
+
+	// Recommendation: cheapest sustaining the target inside the budget;
+	// ties break to higher capacity, then to grid order.
+	for i := range results {
+		r := &results[i]
+		if r.SustainedRPS < targetRPS || targetRPS <= 0 {
+			continue
+		}
+		if budgetPerHour > 0 && r.CostPerHour > budgetPerHour {
+			continue
+		}
+		if plan.Recommendation == nil ||
+			r.CostPerHour < plan.Recommendation.CostPerHour ||
+			(r.CostPerHour == plan.Recommendation.CostPerHour &&
+				r.SustainedRPS > plan.Recommendation.SustainedRPS) {
+			rec := *r
+			plan.Recommendation = &rec
+		}
+	}
+
+	// DeepPlan-vs-PipeSwitch gap on every coordinate set carrying both.
+	type pair struct{ dp, base *Result }
+	pairs := map[Point]*pair{}
+	var order []Point
+	for i := range results {
+		r := &results[i]
+		if r.Point.Policy != serving.PolicyPTDHA && r.Point.Policy != serving.PolicyPipeSwitch {
+			continue
+		}
+		key := r.Point.coords()
+		pr, ok := pairs[key]
+		if !ok {
+			pr = &pair{}
+			pairs[key] = pr
+			order = append(order, key)
+		}
+		if r.Point.Policy == serving.PolicyPTDHA {
+			pr.dp = r
+		} else {
+			pr.base = r
+		}
+	}
+	for _, key := range order {
+		pr := pairs[key]
+		if pr.dp == nil || pr.base == nil {
+			continue
+		}
+		label := fmt.Sprintf("%s x%d %s mb%d", key.Topology, key.Nodes, key.Route, key.MaxBatch)
+		if key.Autoscale {
+			label += " auto"
+		}
+		g := Gap{
+			Coords:        label,
+			DeepPlanRPS:   pr.dp.SustainedRPS,
+			BaselineRPS:   pr.base.SustainedRPS,
+			DeepPlanValue: pr.dp.RPSPerDollar,
+			BaselineValue: pr.base.RPSPerDollar,
+		}
+		if pr.base.SustainedRPS > 0 {
+			g.CapacityRatio = float64(pr.dp.SustainedRPS) / float64(pr.base.SustainedRPS)
+		}
+		if pr.base.RPSPerDollar > 0 {
+			g.ValueRatio = pr.dp.RPSPerDollar / pr.base.RPSPerDollar
+		}
+		plan.Gaps = append(plan.Gaps, g)
+	}
+	return plan
+}
+
+// WriteJSON emits the plan as indented JSON — the machine-readable twin of
+// WriteTable, deterministic byte-for-byte for the same inputs.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteTable renders the plan as the human-readable answer: the grid sorted
+// by cost (frontier points starred), the recommendation, and the policy
+// gaps.
+func (p *Plan) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "SLO %.0f ms p99 (cold & warm), goodput >= %.0f%%, workload %s, %s x%d replicas/node\n\n",
+		p.SLOMs, p.GoodputTarget*100, p.Workload, p.Model, p.Replicas)
+
+	rows := make([]*Result, len(p.Results))
+	for i := range p.Results {
+		rows[i] = &p.Results[i]
+	}
+	// Cost ascending; capacity descending breaks cost ties; the grid index
+	// is implicit in the stable sort's input order for exact ties.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].CostPerHour != rows[j].CostPerHour {
+			return rows[i].CostPerHour < rows[j].CostPerHour
+		}
+		return rows[i].SustainedRPS > rows[j].SustainedRPS
+	})
+	fmt.Fprintf(w, "  %-52s %8s %8s %7s %9s %9s %8s\n",
+		"config", "rps", "$/hr", "rps/$", "cold-p99", "warm-p99", "goodput")
+	for _, r := range rows {
+		mark := " "
+		if r.OnFrontier {
+			mark = "*"
+		}
+		sustained := fmt.Sprintf("%d", r.SustainedRPS)
+		if r.SustainedRPS == 0 {
+			sustained = "-"
+		}
+		fmt.Fprintf(w, "%s %-52s %8s %8.2f %7.1f %8.1fms %8.1fms %7.1f%%\n",
+			mark, r.Point, sustained, r.CostPerHour, r.RPSPerDollar,
+			r.ColdP99Ms, r.WarmP99Ms, r.Goodput*100)
+	}
+	fmt.Fprintf(w, "  (* = on the cost-vs-capacity Pareto frontier)\n\n")
+
+	if p.TargetRPS > 0 {
+		budget := ""
+		if p.BudgetPerHour > 0 {
+			budget = fmt.Sprintf(" within $%.2f/hr", p.BudgetPerHour)
+		}
+		if rec := p.Recommendation; rec != nil {
+			fmt.Fprintf(w, "cheapest config sustaining >= %d rps @ %.0f ms p99%s:\n", p.TargetRPS, p.SLOMs, budget)
+			fmt.Fprintf(w, "  %s — %d rps at $%.2f/hr (%.1f rps/$)\n\n",
+				rec.Point, rec.SustainedRPS, rec.CostPerHour, rec.RPSPerDollar)
+		} else {
+			fmt.Fprintf(w, "no config in the grid sustains %d rps @ %.0f ms p99%s\n\n",
+				p.TargetRPS, p.SLOMs, budget)
+		}
+	}
+
+	if len(p.Gaps) > 0 {
+		fmt.Fprintf(w, "DeepPlan (pt+dha) vs PipeSwitch capacity gap at the same SLO:\n")
+		for _, g := range p.Gaps {
+			if g.BaselineRPS == 0 {
+				fmt.Fprintf(w, "  %s: %d rps vs baseline unsustainable at any probed rate\n",
+					g.Coords, g.DeepPlanRPS)
+				continue
+			}
+			fmt.Fprintf(w, "  %s: %.2fx capacity (%d vs %d rps), %.2fx rps/$ (%.1f vs %.1f)\n",
+				g.Coords, g.CapacityRatio, g.DeepPlanRPS, g.BaselineRPS,
+				g.ValueRatio, g.DeepPlanValue, g.BaselineValue)
+		}
+	}
+}

@@ -103,6 +103,9 @@ type Config struct {
 	SLO sim.Duration
 	// WindowWidth buckets per-window series and telemetry. Default 1 minute.
 	WindowWidth sim.Duration
+	// Batch is the per-inference engine batch size on every node. Default 1
+	// (the paper's serving setting).
+	Batch int
 	// MaxBatch enables per-node dynamic batching of warm requests.
 	MaxBatch int
 	// Autoscale configures the reactive replica controller.
@@ -134,6 +137,19 @@ type modelState struct {
 	base     int // node-local instance index of replica 0 (same on every node)
 	// winArrivals counts this window's arrivals for the autoscaler.
 	winArrivals int
+	// activeNS integrates active replicas over virtual time (replica ·
+	// nanoseconds) — the quantity a serverless platform bills. lastChange
+	// is the instant the integral was last brought current.
+	activeNS   int64
+	lastChange sim.Time
+}
+
+// accrue brings the replica-second integral current at virtual time now.
+func (m *modelState) accrue(now sim.Time) {
+	if now > m.lastChange {
+		m.activeNS += int64(m.active) * int64(now-m.lastChange)
+		m.lastChange = now
+	}
 }
 
 type node struct {
@@ -228,6 +244,7 @@ func New(cfg Config) (*Cluster, error) {
 			Sim:         c.sim,
 			SLO:         cfg.SLO,
 			WindowWidth: cfg.WindowWidth,
+			Batch:       cfg.Batch,
 			MaxBatch:    cfg.MaxBatch,
 			Trace:       c.rec.Node(i, topo.NumGPUs()),
 			Telemetry:   cfg.Telemetry,
@@ -270,6 +287,7 @@ func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
 	}
 	c.models[model.Name] = &modelState{
 		name: model.Name, replicas: replicas, active: active, base: base,
+		lastChange: c.sim.Now(),
 	}
 	c.order = append(c.order, model.Name)
 	return nil
@@ -411,6 +429,7 @@ func (c *Cluster) scaleTick() {
 	as := c.cfg.Autoscale
 	for _, name := range c.order {
 		m := c.models[name]
+		m.accrue(c.sim.Now())
 		before := m.active
 		switch {
 		case m.winArrivals == 0:
@@ -505,6 +524,10 @@ type ReplicaStat struct {
 	Model  string
 	Active int // replicas receiving traffic when the run ended
 	Max    int // deployed ceiling
+	// ActiveSeconds integrates the active replica count over the run: the
+	// replica-seconds a serverless platform would bill for this model.
+	// Without autoscaling it equals Max x the run horizon.
+	ActiveSeconds float64
 }
 
 // Report summarizes a cluster run: merged percentile digests (overall and
@@ -531,6 +554,9 @@ type Report struct {
 
 	ScaleUps, ScaleDowns int
 	Replicas             []ReplicaStat
+	// Horizon is the virtual time at which the run quiesced — the billing
+	// window for the replica-second integrals in Replicas.
+	Horizon sim.Duration
 
 	PerNode []NodeStat
 	// Telemetry is the cluster-level aggregation of every node's windowed
@@ -583,11 +609,16 @@ func (c *Cluster) report(requests int) (*Report, error) {
 	r.WarmP99 = warm.P99()
 	r.Goodput = all.GoodputRate(c.cfg.SLO)
 	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
+	r.Horizon = c.sim.Now().Sub(0)
 	names := append([]string(nil), c.order...)
 	sort.Strings(names)
 	for _, name := range names {
 		m := c.models[name]
-		r.Replicas = append(r.Replicas, ReplicaStat{Model: m.name, Active: m.active, Max: m.replicas})
+		m.accrue(c.sim.Now())
+		r.Replicas = append(r.Replicas, ReplicaStat{
+			Model: m.name, Active: m.active, Max: m.replicas,
+			ActiveSeconds: float64(m.activeNS) / 1e9,
+		})
 	}
 	return r, nil
 }

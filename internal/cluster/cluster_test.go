@@ -283,6 +283,57 @@ func TestAutoscalerDrainsWhenIdle(t *testing.T) {
 	}
 }
 
+func TestReplicaSecondsWithoutAutoscale(t *testing.T) {
+	// With autoscaling off every deployed replica is active for the whole
+	// run, so the billed integral is exactly Max x Horizon.
+	c := newBERTCluster(t, Config{Nodes: 1}, 8)
+	rep, err := c.Run(toCluster("BERT-Base", workload.Poisson(3, 100, 200, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Horizon <= 0 {
+		t.Fatalf("horizon = %v", rep.Horizon)
+	}
+	want := 8 * rep.Horizon.Seconds()
+	got := rep.Replicas[0].ActiveSeconds
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("ActiveSeconds = %v, want %v (8 replicas x %v)", got, want, rep.Horizon)
+	}
+}
+
+func TestReplicaSecondsProratedUnderAutoscale(t *testing.T) {
+	c, err := New(Config{
+		Nodes:       2,
+		WindowWidth: 10 * sim.Second,
+		Autoscale:   AutoscaleConfig{Enabled: true, Interval: sim.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := c.Deploy(m, 16); err != nil {
+		t.Fatal(err)
+	}
+	c.Warmup()
+	// Load for a few seconds, then a long idle tail: the integral must sit
+	// strictly between the floor (1 x horizon) and the ceiling (16 x
+	// horizon), i.e. actually track the autoscaler's trajectory.
+	reqs := toCluster("BERT-Base", workload.Poisson(5, 300, 1500, 1))
+	reqs = append(reqs, Request{At: 30 * sim.Time(sim.Second), Model: "BERT-Base", Key: 0})
+	rep, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScaleUps == 0 || rep.ScaleDowns == 0 {
+		t.Fatalf("want both scale directions exercised: %d up, %d down", rep.ScaleUps, rep.ScaleDowns)
+	}
+	horizon := rep.Horizon.Seconds()
+	got := rep.Replicas[0].ActiveSeconds
+	if got <= 1*horizon || got >= 16*horizon {
+		t.Fatalf("ActiveSeconds = %v not strictly inside (%v, %v)", got, horizon, 16*horizon)
+	}
+}
+
 func TestClusterTraceHasPerNodeTracks(t *testing.T) {
 	rec := trace.New()
 	c, err := New(Config{Nodes: 2, Trace: rec})

@@ -67,6 +67,7 @@ var registry = []Experiment{
 	{"fig16", "Figure 16: speedups on 2x RTX A5000 with PCIe 4.0", Figure16},
 	{"fig-faults", "Fault injection: graceful degradation under GPU/link faults", FigFaults},
 	{"fig-cluster", "Cluster serving: routing policies and autoscaling across nodes", FigCluster},
+	{"fig-capacity", "Capacity planning: cost-vs-capacity frontier over the config grid", FigCapacity},
 }
 
 // All returns every experiment in presentation order.

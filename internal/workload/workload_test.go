@@ -96,6 +96,106 @@ func TestPoissonInvalidInputs(t *testing.T) {
 	}
 }
 
+func TestPoissonZipfUniformFallback(t *testing.T) {
+	// skew <= 0 must be byte-identical to the uniform generator: the
+	// capacity sweeps default to uniform and must reproduce historical runs.
+	a := Poisson(9, 80, 500, 20)
+	b := PoissonZipf(9, 80, 500, 20, 0)
+	c := PoissonZipf(9, 80, 500, 20, -1)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("lengths differ: %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("request %d differs between uniform and skew<=0", i)
+		}
+	}
+}
+
+func TestPoissonZipfSkewedDistribution(t *testing.T) {
+	const n, inst = 20000, 10
+	reqs := PoissonZipf(7, 100, n, inst, 1.0)
+	if len(reqs) != n {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	counts := make([]int, inst)
+	for _, r := range reqs {
+		if r.Instance < 0 || r.Instance >= inst {
+			t.Fatalf("instance %d out of range", r.Instance)
+		}
+		counts[r.Instance]++
+	}
+	// Zipf(1) over 10 instances: instance 0 carries 1/H(10) ~ 34% of
+	// traffic, instance 9 ~3.4%. Check the head dominates and the ordering
+	// is broadly decreasing (adjacent ranks can jitter; head vs tail not).
+	if counts[0] < counts[9]*4 {
+		t.Errorf("head not dominant: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+	want0 := 0.3414 * n // 1/H(10), H(10)=2.9290
+	if math.Abs(float64(counts[0])-want0) > want0*0.15 {
+		t.Errorf("instance 0 got %d of %d, want ~%.0f", counts[0], n, want0)
+	}
+	// Arrival *times* must be unaffected by skew: same seed, same rate,
+	// same exponential gaps (instance choice draws after the gap draw).
+	uni := Poisson(7, 100, n, inst)
+	for i := range reqs {
+		if reqs[i].At != uni[i].At {
+			t.Fatalf("arrival %d moved under skew: %v vs %v", i, reqs[i].At, uni[i].At)
+		}
+	}
+}
+
+func TestPoissonZipfSkewMonotone(t *testing.T) {
+	// Higher skew concentrates more traffic on instance 0.
+	const n, inst = 20000, 20
+	share := func(skew float64) float64 {
+		reqs := PoissonZipf(11, 100, n, inst, skew)
+		c := 0
+		for _, r := range reqs {
+			if r.Instance == 0 {
+				c++
+			}
+		}
+		return float64(c) / n
+	}
+	s05, s10, s15 := share(0.5), share(1.0), share(1.5)
+	if !(s05 < s10 && s10 < s15) {
+		t.Fatalf("head share not monotone in skew: %0.3f %0.3f %0.3f", s05, s10, s15)
+	}
+}
+
+func TestPoissonZipfDeterministic(t *testing.T) {
+	a := PoissonZipf(5, 60, 300, 12, 0.9)
+	b := PoissonZipf(5, 60, 300, 12, 0.9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different skewed workloads")
+		}
+	}
+	c := PoissonZipf(6, 60, 300, 12, 0.9)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical skewed workloads")
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].At < a[j].At }) {
+		t.Fatal("skewed arrivals not sorted")
+	}
+}
+
+func TestPoissonZipfInvalidInputs(t *testing.T) {
+	if PoissonZipf(1, 0, 10, 5, 1) != nil ||
+		PoissonZipf(1, 10, 0, 5, 1) != nil ||
+		PoissonZipf(1, 10, 10, 0, 1) != nil {
+		t.Fatal("invalid inputs produced requests")
+	}
+}
+
 func defaultSpec() TraceSpec {
 	return TraceSpec{
 		Seed:         1,
