@@ -257,6 +257,56 @@ func benchServingThousand(b *testing.B, traced bool) {
 	}
 }
 
+// benchCluster replays a Poisson workload over an n-node cluster at the
+// least-outstanding routing point, one BERT-Base replica per node. The
+// parallel flag selects the per-node event-queue driver; both variants are
+// benchmarked so the conservative-lookahead synchronization cost (and any
+// speedup on multi-core hosts) stays a tracked number.
+func benchCluster(b *testing.B, nodes int, parallel bool) {
+	b.Helper()
+	platform := deepplan.NewP38xlarge()
+	m, err := deepplan.LoadModel("bert-base")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := deepplan.ClusterRequests("BERT-Base",
+		deepplan.PoissonWorkload(7, 25*float64(nodes), 2000, nodes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := platform.NewCluster(deepplan.ClusterOptions{
+			Nodes:    nodes,
+			Route:    deepplan.RouteLeastOutstanding,
+			Parallel: parallel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Deploy(m, nodes); err != nil {
+			b.Fatal(err)
+		}
+		c.Warmup()
+		if _, err := c.Run(reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSixteenNodes is the ISSUE's headline configuration: the
+// fig-cluster node count on the shared serial clock.
+func BenchmarkClusterSixteenNodes(b *testing.B) { benchCluster(b, 16, false) }
+
+// BenchmarkClusterSixteenNodesParallel runs the same configuration with
+// per-node event queues on goroutines (ClusterOptions.Parallel).
+func BenchmarkClusterSixteenNodesParallel(b *testing.B) { benchCluster(b, 16, true) }
+
+// BenchmarkClusterHundredNodes scales the node count past the paper's
+// largest configuration to expose super-linear router costs.
+func BenchmarkClusterHundredNodes(b *testing.B) { benchCluster(b, 100, false) }
+
+// BenchmarkClusterHundredNodesParallel is the parallel-driver variant.
+func BenchmarkClusterHundredNodesParallel(b *testing.B) { benchCluster(b, 100, true) }
+
 // TestDisabledTracingAddsNoAllocations pins the zero-overhead-when-disabled
 // contract at the API boundary: every recorder entry point on a nil
 // *TraceRecorder — the disabled state the serving hot path sees — must not

@@ -5,15 +5,17 @@
 //
 //	deepplan-bench -list
 //	deepplan-bench -exp fig11
-//	deepplan-bench -exp all [-quick] [-parallel [-workers N]]
+//	deepplan-bench -exp all [-quick] [-parallel [-workers N]] [-parallel-sim]
 //
 // With -parallel, independent experiments — and the independent sweep points
 // inside the serving and batching sweeps — run concurrently on a bounded
-// worker pool (GOMAXPROCS workers unless -workers says otherwise). Every
-// simulation still runs single-threaded on its own sim.Simulator, so the
-// tables on stdout are byte-identical to a serial run; only wall-clock
-// changes. Timing lines go to stderr, keeping stdout a pure function of the
-// experiment set.
+// worker pool (GOMAXPROCS workers unless -workers says otherwise), each
+// simulation still single-threaded on its own sim.Simulator. -parallel-sim
+// goes one level deeper: the cluster experiments (fig-cluster, fig-capacity)
+// run every node of every simulated cluster on its own goroutine under
+// conservative lookahead. Both knobs keep the tables on stdout
+// byte-identical to a serial run; only wall-clock changes. Timing lines go
+// to stderr, keeping stdout a pure function of the experiment set.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink serving experiments for a fast pass")
 	parallel := flag.Bool("parallel", false, "run independent experiments and sweep points concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
+	parallelSim := flag.Bool("parallel-sim", false, "run cluster simulations with per-node event queues on separate goroutines (byte-identical output)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the representative serving run (fig13/fig15 only)")
 	telemetry := flag.Bool("telemetry", false, "append per-window resource telemetry to fig13/fig15 output")
 	flag.Parse()
@@ -49,7 +52,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, Telemetry: *telemetry}
+	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, Telemetry: *telemetry, ParallelSim: *parallelSim}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

@@ -10,13 +10,14 @@
 //
 //	deepplan-capacity [-slo 300ms] [-target-rps 100] [-budget 15]
 //	                  [-workload poisson|maf] [-skew 1.0]
-//	                  [-json] [-quick] [-parallel [-workers N]]
+//	                  [-json] [-quick] [-parallel [-workers N]] [-parallel-sim]
 //
 // Stdout is a pure function of the flags: the table (or, with -json, the
 // plan document) is byte-identical serially, with -parallel, and across
-// reruns. -parallel only fans independent grid points across a worker
-// pool; every simulation still runs single-threaded on its own virtual
-// clock.
+// reruns. -parallel fans independent grid points across a worker pool;
+// -parallel-sim additionally runs each probed cluster with one event queue
+// per node on its own goroutine (conservative lookahead, byte-identical to
+// the serial clock). The two compose.
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink the search for a fast smoke pass")
 	parallel := flag.Bool("parallel", false, "saturate independent grid points concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
+	parallelSim := flag.Bool("parallel-sim", false, "run each probed cluster with per-node event queues on separate goroutines (byte-identical output)")
 	flag.Parse()
 
 	spec := capacity.SearchSpec{
@@ -61,6 +63,7 @@ func main() {
 		Replicas:      *replicas,
 		MaxRate:       *maxRate,
 		Step:          *step,
+		Parallel:      *parallelSim,
 	}
 	if *quick {
 		spec.Duration = 2 * sim.Second

@@ -20,6 +20,12 @@
 // PCIe link degradation, straggler transfers, host-memory pressure); the
 // same spec and seed replay byte-identically. -admit enables SLO-aware
 // admission control, shedding cold-starts projected past admit×SLO.
+//
+// -parallel-sim (cluster mode) gives every node its own event queue on its
+// own goroutine, synchronized conservatively at the router. Stdout is a
+// pure function of the flags either way — wall-clock timing goes to stderr
+// — so `deepplan-server -nodes 16 ... | diff - <(deepplan-server -nodes 16
+// ... -parallel-sim)` is empty by construction.
 package main
 
 import (
@@ -53,12 +59,13 @@ func main() {
 	nodes := flag.Int("nodes", 1, "cluster mode: number of serving nodes (>1 enables the multi-node router)")
 	route := flag.String("route", "least-outstanding", "cluster routing policy: round-robin | least-outstanding | affinity")
 	autoscale := flag.Bool("autoscale", false, "cluster mode: reactive per-model replica autoscaling from a 1-replica floor")
+	parallelSim := flag.Bool("parallel-sim", false, "cluster mode: per-node event queues on separate goroutines (byte-identical output)")
 	flag.Parse()
 
-	if *nodes > 1 || *autoscale {
-		runCluster(*nodes, *route, *autoscale, *policy, *modelName, *instances,
-			*rate, *requests, *sloMs, *maxBatch, *seed, *maf, *faultSpec,
-			*tracePath, *telemetry)
+	if *nodes > 1 || *autoscale || *parallelSim {
+		runCluster(*nodes, *route, *autoscale, *parallelSim, *policy, *modelName,
+			*instances, *rate, *requests, *sloMs, *maxBatch, *seed, *maf,
+			*faultSpec, *tracePath, *telemetry)
 		return
 	}
 
@@ -133,9 +140,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	// Wall-clock timing goes to stderr so stdout stays a pure function of
+	// the flags (diffable across runs and across -parallel-sim).
+	fmt.Fprintf(os.Stderr, "wall clock: %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("policy:        %s\n", rep.Policy)
-	fmt.Printf("requests:      %d (simulated; wall clock %s)\n",
-		rep.Requests, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("requests:      %d (simulated)\n", rep.Requests)
 	fmt.Printf("p50 / p99:     %.1f ms / %.1f ms (max %.1f ms)\n",
 		rep.P50.Seconds()*1e3, rep.P99.Seconds()*1e3, rep.Max.Seconds()*1e3)
 	fmt.Printf("goodput:       %.2f%% (SLO %d ms)\n", rep.Goodput*100, *sloMs)
@@ -205,10 +214,12 @@ func main() {
 	}
 }
 
-// runCluster is the multi-node path: N independent simulated servers on a
-// shared virtual clock behind the front-end router (and, with -autoscale,
-// the reactive replica controller). The model is replicated on every node.
-func runCluster(nodes int, route string, autoscale bool, policy, modelName string,
+// runCluster is the multi-node path: N independent simulated servers behind
+// the front-end router (and, with -autoscale, the reactive replica
+// controller). The model is replicated on every node. With parallelSim the
+// nodes run on separate goroutines under conservative lookahead instead of
+// one shared clock; the printed report is byte-identical either way.
+func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, modelName string,
 	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
 	maf bool, faultSpec, tracePath string, telemetry bool) {
 	if maf || faultSpec != "" {
@@ -231,6 +242,7 @@ func runCluster(nodes int, route string, autoscale bool, policy, modelName strin
 		Autoscale: deepplan.AutoscaleConfig{Enabled: autoscale, Interval: sim.Second},
 		Trace:     rec,
 		Telemetry: telemetry,
+		Parallel:  parallelSim,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -254,9 +266,10 @@ func runCluster(nodes int, route string, autoscale bool, policy, modelName strin
 	if err != nil {
 		fail("%v", err)
 	}
+	// Stderr, so serial and -parallel-sim stdout diff clean (see package doc).
+	fmt.Fprintf(os.Stderr, "wall clock: %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("policy:        %s, %d nodes, %s routing\n", rep.Policy, rep.Nodes, rep.Route)
-	fmt.Printf("requests:      %d (simulated; wall clock %s)\n",
-		rep.Requests, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("requests:      %d (simulated)\n", rep.Requests)
 	fmt.Printf("p50 / p99:     %.1f ms / %.1f ms (max %.1f ms)\n",
 		rep.P50.Seconds()*1e3, rep.P99.Seconds()*1e3, rep.Max.Seconds()*1e3)
 	fmt.Printf("cold / warm:   p99 %.1f ms / %.1f ms\n",

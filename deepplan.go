@@ -362,6 +362,11 @@ type ClusterOptions struct {
 	Trace *TraceRecorder
 	// Telemetry enables the cluster-aggregated windowed resource snapshot.
 	Telemetry bool
+	// Parallel runs each node's event queue on its own goroutine with
+	// conservative-lookahead synchronization at the router. Reports and
+	// traces stay byte-identical to the default serial clock; only
+	// wall-clock time changes.
+	Parallel bool
 }
 
 // NewCluster builds a multi-node serving system on this platform: every
@@ -383,6 +388,7 @@ func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Autoscale:   opts.Autoscale,
 		Trace:       opts.Trace,
 		Telemetry:   opts.Telemetry,
+		Parallel:    opts.Parallel,
 	})
 }
 

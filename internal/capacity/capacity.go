@@ -190,6 +190,11 @@ type SearchSpec struct {
 	MinRate int `json:"min_rate"`
 	MaxRate int `json:"max_rate"`
 	Step    int `json:"step"`
+	// Parallel runs each probe's cluster with per-node event queues on
+	// separate goroutines (cluster.Config.Parallel). Probe results are
+	// byte-identical either way, so the plan is unchanged; the field is
+	// excluded from the cache identity for exactly that reason.
+	Parallel bool `json:"-"`
 }
 
 func (s SearchSpec) withDefaults() SearchSpec {
@@ -293,6 +298,7 @@ func evaluate(pt Point, spec SearchSpec, rate int) (probe, error) {
 		SLO:         spec.SLO,
 		MaxBatch:    pt.MaxBatch,
 		Autoscale:   as,
+		Parallel:    spec.Parallel,
 	})
 	if err != nil {
 		return probe{}, err

@@ -118,6 +118,11 @@ type Config struct {
 	// Telemetry enables per-node windowed telemetry and its cluster-level
 	// aggregation in Report.Telemetry.
 	Telemetry bool
+	// Parallel gives every node its own event queue and runs the nodes on
+	// separate goroutines between router interaction points (conservative
+	// lookahead; see Run). Reports and traces are byte-identical to the
+	// serial path, which stays the default and the correctness oracle.
+	Parallel bool
 }
 
 // Request is one cluster-level arrival: a model invocation identified by a
@@ -155,6 +160,9 @@ func (m *modelState) accrue(now sim.Time) {
 type node struct {
 	id  int
 	srv *serving.Server
+	// sim drives this node's events: the cluster's shared simulator in
+	// serial mode, a private one in parallel mode.
+	sim *sim.Simulator
 }
 
 // down reports whether the node has no serving capacity at all.
@@ -237,11 +245,18 @@ func New(cfg Config) (*Cluster, error) {
 	c.rec.NamePID(trace.ServerPID, "cluster router") // no-op when tracing is off
 	for i := 0; i < cfg.Nodes; i++ {
 		topo := cfg.NewTopology()
+		nodeSim := c.sim
+		if cfg.Parallel {
+			// Each node owns a private event queue; the router's simulator
+			// then carries only external events (arrivals, autoscaler ticks)
+			// and Run synchronizes the two at those points.
+			nodeSim = sim.New()
+		}
 		srv, err := serving.New(serving.Config{
 			Topo:        topo,
 			Cost:        cfg.Cost,
 			Policy:      cfg.Policy,
-			Sim:         c.sim,
+			Sim:         nodeSim,
 			SLO:         cfg.SLO,
 			WindowWidth: cfg.WindowWidth,
 			Batch:       cfg.Batch,
@@ -252,7 +267,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
-		c.nodes = append(c.nodes, &node{id: i, srv: srv})
+		c.nodes = append(c.nodes, &node{id: i, srv: srv, sim: nodeSim})
 	}
 	return c, nil
 }
@@ -471,6 +486,17 @@ func (c *Cluster) scaleTick() {
 // Run replays the request sequence through the router to completion and
 // returns the cluster report. Requests must be sorted by arrival time
 // (workload generators produce sorted sequences).
+//
+// With Config.Parallel set, Run drives the nodes concurrently under
+// conservative lookahead: every external event (arrival or autoscaler tick)
+// is a cluster-wide synchronization point, because the router samples all
+// nodes' load there and may submit work to any of them. Between two such
+// points the nodes share nothing, so each node's private simulator advances
+// on its own goroutine up to the next external timestamp, the router fires
+// the external events with every node parked at that instant, and the cycle
+// repeats; after the last external event the nodes drain to quiescence
+// concurrently. See DESIGN.md for why this is byte-identical to the serial
+// schedule.
 func (c *Cluster) Run(requests []Request) (*Report, error) {
 	for _, r := range requests {
 		if _, ok := c.models[r.Model]; !ok {
@@ -492,11 +518,28 @@ func (c *Cluster) Run(requests []Request) (*Report, error) {
 			c.sim.At(t, c.scaleTick)
 		}
 	}
-	c.sim.Run()
+	if c.cfg.Parallel {
+		c.runParallel()
+	} else {
+		c.sim.Run()
+	}
+	c.rec.MergeViews() // fold per-node trace buffers into one deterministic timeline
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return c.report(len(requests))
+}
+
+// now returns the cluster-wide virtual time: the router clock in serial
+// mode, the furthest node clock once the parallel drain has finished.
+func (c *Cluster) now() sim.Time {
+	t := c.sim.Now()
+	for _, n := range c.nodes {
+		if nt := n.sim.Now(); nt > t {
+			t = nt
+		}
+	}
+	return t
 }
 
 // CheckInvariants validates every node's internal consistency (test use).
@@ -609,12 +652,13 @@ func (c *Cluster) report(requests int) (*Report, error) {
 	r.WarmP99 = warm.P99()
 	r.Goodput = all.GoodputRate(c.cfg.SLO)
 	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
-	r.Horizon = c.sim.Now().Sub(0)
+	end := c.now()
+	r.Horizon = end.Sub(0)
 	names := append([]string(nil), c.order...)
 	sort.Strings(names)
 	for _, name := range names {
 		m := c.models[name]
-		m.accrue(c.sim.Now())
+		m.accrue(end)
 		r.Replicas = append(r.Replicas, ReplicaStat{
 			Model: m.name, Active: m.active, Max: m.replicas,
 			ActiveSeconds: float64(m.activeNS) / 1e9,

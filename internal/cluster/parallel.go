@@ -1,0 +1,93 @@
+// Parallel cluster driver: conservative-lookahead synchronization of one
+// private discrete-event simulator per node.
+//
+// Nodes interact only through the router — arrivals sample every node's
+// Outstanding count and submit to one of them, autoscaler ticks read every
+// node's cold-start counters — and every one of those interactions happens
+// inside an event on the router's simulator. Between two router events the
+// nodes are fully independent, so each may advance its private clock to the
+// next router timestamp without observing (or being observed by) a peer.
+// That timestamp is the conservative lookahead bound: it never moves
+// backward, and no cross-node effect can occur before it.
+//
+// The protocol preserves the serial schedule exactly (see DESIGN.md):
+// router events are pre-scheduled before the run starts, so under a shared
+// clock they carry lower sequence numbers than every runtime-scheduled node
+// event and fire first among equal timestamps. AdvanceTo(t) reproduces that
+// boundary — node events strictly before t fire, node events at t wait
+// until the router has fired its events at t — and per-node sequence
+// numbers preserve each node's internal order. Goroutine scheduling can
+// therefore never reorder anything observable: every value read or written
+// is the same as in the serial run, which is why reports and traces are
+// byte-identical between the two modes.
+
+package cluster
+
+import "deepplan/internal/sim"
+
+// runParallel drives the node simulators on one goroutine each, parking
+// them at every router timestamp so the router can run its events against
+// quiescent, time-aligned nodes. Channel handoffs order every router access
+// to node state after the node's advance and before its next one, so the
+// race detector sees a clean happens-before chain.
+func (c *Cluster) runParallel() {
+	type command struct {
+		target sim.Time
+		drain  bool // run to quiescence instead of advancing to target
+	}
+	cmds := make([]chan command, len(c.nodes))
+	ack := make(chan struct{}, len(c.nodes))
+	for i, n := range c.nodes {
+		cmds[i] = make(chan command, 1)
+		// deterministic: worker goroutines only advance their own node's
+		// private simulator between barriers; all cross-node reads happen
+		// on the router goroutine while the workers are parked.
+		go func(cmd chan command, ns *sim.Simulator) {
+			for cm := range cmd {
+				if cm.drain {
+					ns.Run()
+				} else {
+					ns.AdvanceTo(cm.target)
+				}
+				ack <- struct{}{}
+			}
+		}(cmds[i], n.sim)
+	}
+	barrier := func(cm command) {
+		for _, ch := range cmds {
+			ch <- cm
+		}
+		for range cmds {
+			<-ack
+		}
+	}
+	for {
+		t, ok := c.sim.PeekTime()
+		if !ok {
+			break
+		}
+		// Let every node catch up to the next router timestamp, then fire
+		// all router events at that instant (arrivals may enqueue node work
+		// at t; it stays pending until the nodes move past t).
+		barrier(command{target: t})
+		for {
+			nt, ok := c.sim.PeekTime()
+			if !ok || nt != t {
+				break
+			}
+			c.sim.Step()
+		}
+	}
+	barrier(command{drain: true})
+	for _, ch := range cmds {
+		close(ch)
+	}
+	// Align every node clock with the cluster-wide quiesce instant. Under a
+	// shared clock all nodes end at the same Now; telemetry closes its last
+	// window against that clock, so the private clocks must agree before
+	// Finish reads them. No events are pending, so this only moves clocks.
+	end := c.now()
+	for _, n := range c.nodes {
+		n.sim.AdvanceTo(end)
+	}
+}

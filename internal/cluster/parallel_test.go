@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/serving"
+	"deepplan/internal/sim"
+	"deepplan/internal/trace"
+	"deepplan/internal/workload"
+)
+
+// runOnce builds a cluster from cfg, deploys BERT-Base, replays a Poisson
+// workload, and returns the report plus the Chrome trace bytes (empty when
+// cfg.Trace is nil at entry — the helper installs its own recorder).
+func runOnce(t *testing.T, cfg Config, replicas, requests int, rate float64) (*Report, []byte) {
+	t.Helper()
+	rec := trace.New()
+	cfg.Trace = rec
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := dnn.ByName("bert-base")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if err := c.Deploy(m, replicas); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	c.Warmup()
+	reqs := toCluster("BERT-Base", workload.Poisson(17, rate, requests, c.models["BERT-Base"].active))
+	rep, err := c.Run(reqs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, rec, nil); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	return rep, buf.Bytes()
+}
+
+// TestParallelMatchesSerial is the tentpole invariant: for every routing
+// policy, with and without autoscaling, batching, and telemetry, the
+// parallel driver's report AND trace are byte-identical to the serial
+// shared-clock run.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"round-robin-2", Config{Nodes: 2, Route: RouteRoundRobin}},
+		{"least-outstanding-4", Config{Nodes: 4, Route: RouteLeastOutstanding, Telemetry: true}},
+		{"affinity-4", Config{Nodes: 4, Route: RouteAffinity}},
+		{"single-node", Config{Nodes: 1}},
+		{"batching-2", Config{Nodes: 2, MaxBatch: 4}},
+		{"autoscale-4", Config{
+			Nodes:       4,
+			WindowWidth: 10 * sim.Second,
+			Autoscale:   AutoscaleConfig{Enabled: true, Interval: sim.Second},
+			Telemetry:   true,
+		}},
+		{"pipeswitch-2", Config{Nodes: 2, Policy: serving.PolicyPipeSwitch}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialCfg, parallelCfg := tc.cfg, tc.cfg
+			parallelCfg.Parallel = true
+			wantRep, wantTrace := runOnce(t, serialCfg, 24, 400, 120)
+			gotRep, gotTrace := runOnce(t, parallelCfg, 24, 400, 120)
+			if !reflect.DeepEqual(wantRep, gotRep) {
+				t.Fatalf("parallel report diverged from serial:\nserial:   %+v\nparallel: %+v", wantRep, gotRep)
+			}
+			if !bytes.Equal(wantTrace, gotTrace) {
+				t.Fatalf("parallel trace diverged from serial (%d vs %d bytes)", len(wantTrace), len(gotTrace))
+			}
+		})
+	}
+}
+
+// TestParallelStressSixteenNodes replays one 16-node workload repeatedly
+// through the parallel driver and demands identical output every time —
+// the test that catches any goroutine-interleaving leak into the merge.
+func TestParallelStressSixteenNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-node stress run in -short mode")
+	}
+	cfg := Config{Nodes: 16, Route: RouteLeastOutstanding, Telemetry: true, Parallel: true}
+	wantRep, wantTrace := runOnce(t, cfg, 12, 600, 200)
+	for i := 0; i < 4; i++ {
+		rep, tr := runOnce(t, cfg, 12, 600, 200)
+		if !reflect.DeepEqual(wantRep, rep) {
+			t.Fatalf("parallel rerun %d diverged:\nfirst: %+v\nrerun: %+v", i, wantRep, rep)
+		}
+		if !bytes.Equal(wantTrace, tr) {
+			t.Fatalf("parallel rerun %d trace diverged (%d vs %d bytes)", i, len(wantTrace), len(tr))
+		}
+	}
+	serial := cfg
+	serial.Parallel = false
+	rep, tr := runOnce(t, serial, 12, 600, 200)
+	if !reflect.DeepEqual(wantRep, rep) {
+		t.Fatalf("16-node serial oracle diverged:\nserial:   %+v\nparallel: %+v", rep, wantRep)
+	}
+	if !bytes.Equal(wantTrace, tr) {
+		t.Fatal("16-node serial oracle trace diverged")
+	}
+}
+
+// Sanity: error paths must shut the worker goroutines down cleanly too.
+func TestParallelUnknownModelMidRunStopsCleanly(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := c.Deploy(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run([]Request{{Model: "nope"}}); err == nil {
+		t.Fatal("want unknown-model error")
+	}
+	if _, err := c.Run(toCluster("BERT-Base", workload.Poisson(3, 50, 50, 4))); err != nil {
+		t.Fatalf("cluster unusable after rejected run: %v", err)
+	}
+}
+
+// The parallel driver must also preserve determinism across distinct
+// cluster instances (fresh goroutines, fresh simulators).
+func TestParallelDeterminismAcrossInstances(t *testing.T) {
+	cfg := Config{Nodes: 4, Route: RouteAffinity, Parallel: true}
+	a, _ := runOnce(t, cfg, 16, 300, 100)
+	b, _ := runOnce(t, cfg, 16, 300, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two parallel runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// Guard the router-clock bookkeeping: the report horizon must cover the
+// furthest node clock, not just the router's last external event.
+func TestParallelHorizonCoversNodeDrain(t *testing.T) {
+	cfg := Config{Nodes: 2, Parallel: true}
+	rep, _ := runOnce(t, cfg, 8, 100, 80)
+	last := 100 * float64(sim.Second) / 80 // rough workload tail, s->ns
+	if float64(rep.Horizon) <= last/2 {
+		t.Fatalf("suspicious horizon %v", rep.Horizon)
+	}
+	if rep.Requests != 100 {
+		t.Fatalf("Requests = %d, want 100", rep.Requests)
+	}
+}

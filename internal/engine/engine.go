@@ -69,6 +69,49 @@ type Engine struct {
 	failable bool
 	failed   []bool
 	active   []*runState
+
+	// names caches per-model diagnostic task names ("dha:encoder0", ...) so
+	// steady-state scheduling concatenates no strings. Keyed by model pointer:
+	// models are constructed once and shared across runs, so the cache stays
+	// bounded by the number of distinct models the engine ever serves.
+	names map[*dnn.Model]*modelNames
+}
+
+// layerNames holds the pre-built stream-task names for one layer.
+type layerNames struct {
+	exec, dha, cp, seg string
+}
+
+// modelNames holds the pre-built task names for one model.
+type modelNames struct {
+	begin, finish string
+	layers        []layerNames
+}
+
+// namesFor returns m's cached task names, building them on first use.
+func (e *Engine) namesFor(m *dnn.Model) *modelNames {
+	if n, ok := e.names[m]; ok {
+		return n
+	}
+	n := &modelNames{
+		begin:  "begin:" + m.Name,
+		finish: "finish:" + m.Name,
+		layers: make([]layerNames, m.NumLayers()),
+	}
+	for i := range n.layers {
+		ln := m.Layers[i].Name
+		n.layers[i] = layerNames{
+			exec: "exec:" + ln,
+			dha:  "dha:" + ln,
+			cp:   "copy:" + ln,
+			seg:  "exec-seg:" + ln,
+		}
+	}
+	if e.names == nil {
+		e.names = make(map[*dnn.Model]*modelNames)
+	}
+	e.names[m] = n
+	return n
 }
 
 // New returns an Engine over the given substrate.
@@ -400,6 +443,7 @@ func (e *Engine) abortRun(rs *runState) {
 func (e *Engine) schedule(spec Spec, batch int) {
 	m := spec.Model
 	p := spec.Plan
+	names := e.namesFor(m)
 	primary := e.gpus[spec.Primary]
 	hostPath := e.topo.HostToGPUPath(spec.Primary)
 
@@ -444,14 +488,14 @@ func (e *Engine) schedule(spec Spec, batch int) {
 		}
 		arrive := stream.NewEvent()
 		if lp.Partition == 0 {
-			e.submitCopy(rs, primary.load, hostPath, bytes, t)
+			e.submitCopy(rs, primary.load, hostPath, bytes, t, names.layers[i].cp)
 			primary.load.Record(arrive)
 			arrive.OnFire(func() { t.AvailAt = arrive.FiredAt() })
 		} else {
 			secID := spec.Secondaries[lp.Partition-1]
 			sec := e.gpus[secID]
 			landed := stream.NewEvent()
-			e.submitCopy(rs, sec.load, e.topo.HostToGPUPath(secID), bytes, t)
+			e.submitCopy(rs, sec.load, e.topo.HostToGPUPath(secID), bytes, t, names.layers[i].cp)
 			sec.load.Record(landed)
 			// Forward over NVLink once landed on the secondary.
 			nvPath, _ := e.topo.GPUToGPUPath(secID, spec.Primary)
@@ -470,7 +514,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 
 	// Phase 2: schedule execution on the primary GPU.
 	var prevDone sim.Time
-	primary.exec.Do("begin:"+m.Name, func() {
+	primary.exec.Do(names.begin, func() {
 		rs.res.ExecBegin = e.sim.Now()
 		prevDone = rs.res.ExecBegin
 	})
@@ -499,7 +543,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 				j++
 			}
 			lo, hi := i, j
-			primary.exec.Submit("exec-seg:"+m.Layers[lo].Name, func(done func()) {
+			primary.exec.Submit(names.layers[lo].seg, func(done func()) {
 				if rs.aborted {
 					done()
 					return
@@ -556,7 +600,8 @@ func (e *Engine) schedule(spec Spec, batch int) {
 				spec.PCM.AddDHA(dhaBytes)
 			}
 			compute := e.cost.ComputeTime(l, batch)
-			primary.exec.Submit("dha:"+l.Name, func(done func()) {
+			dhaName := names.layers[i].dha
+			primary.exec.Submit(dhaName, func(done func()) {
 				if rs.aborted {
 					done()
 					return
@@ -582,7 +627,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 						})
 					})
 				}
-				fl = e.net.StartFlow("dha:"+l.Name, hostPath, dhaBytes, func(sim.Time) { finish() })
+				fl = e.net.StartFlow(dhaName, hostPath, dhaBytes, func(sim.Time) { finish() })
 				computeTimer = e.sim.After(compute, func() {
 					computeTimer = nil
 					finish()
@@ -601,7 +646,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 			})
 		default:
 			compute := e.cost.ComputeTime(l, batch)
-			primary.exec.Submit("exec:"+l.Name, func(done func()) {
+			primary.exec.Submit(names.layers[i].exec, func(done func()) {
 				if rs.aborted {
 					done()
 					return
@@ -629,7 +674,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 		}
 		i++
 	}
-	primary.exec.Do("finish:"+m.Name, func() {
+	primary.exec.Do(names.finish, func() {
 		if rs.aborted {
 			// abortRun already finalized and reported the run.
 			return
@@ -647,9 +692,9 @@ func (e *Engine) schedule(spec Spec, batch int) {
 }
 
 // submitCopy enqueues a host→GPU copy: fixed per-copy overhead, then a PCIe
-// flow. Timing is captured into t.
-func (e *Engine) submitCopy(rs *runState, ld *stream.Stream, path []*simnet.Link, bytes float64, t *LayerTiming) {
-	ld.Submit("copy:"+t.Name, func(done func()) {
+// flow. Timing is captured into t; name is the cached "copy:<layer>" label.
+func (e *Engine) submitCopy(rs *runState, ld *stream.Stream, path []*simnet.Link, bytes float64, t *LayerTiming, name string) {
+	ld.Submit(name, func(done func()) {
 		if rs.aborted {
 			done()
 			return
@@ -660,7 +705,7 @@ func (e *Engine) submitCopy(rs *runState, ld *stream.Stream, path []*simnet.Link
 		var fl *simnet.Flow
 		timer = e.sim.After(sim.Duration(e.topo.PerCopyOverheadNanos), func() {
 			timer = nil
-			fl = e.net.StartFlow("copy:"+t.Name, path, bytes, func(at sim.Time) {
+			fl = e.net.StartFlow(name, path, bytes, func(at sim.Time) {
 				settle(aw, func() {
 					t.LoadDone = at
 					done()

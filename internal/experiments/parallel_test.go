@@ -32,6 +32,32 @@ func TestParallelOutputMatchesSerial(t *testing.T) {
 	}
 }
 
+// The parallel cluster driver must be invisible in every experiment's
+// output: the full registry, run with per-node event queues on goroutines
+// (ParallelSim), must be byte-identical to the serial shared-clock run.
+// Only fig-cluster and fig-capacity simulate clusters today, but sweeping
+// the whole registry keeps the invariant pinned as more experiments move
+// to the cluster layer. Run under -race this doubles as the data-race
+// check on the conservative-lookahead synchronization.
+func TestParallelSimOutputMatchesSerial(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			if err := e.Run(&serial, Options{Quick: true}); err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			if err := e.Run(&parallel, Options{Quick: true, ParallelSim: true, Workers: 2}); err != nil {
+				t.Fatalf("parallel-sim: %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+				t.Fatalf("parallel-sim output differs from serial\n--- serial ---\n%s\n--- parallel-sim ---\n%s",
+					serial.String(), parallel.String())
+			}
+		})
+	}
+}
+
 // registryUnits wraps the full registry as runner units, the way
 // cmd/deepplan-bench does for -exp all.
 func registryUnits(opts Options) []runner.Unit {

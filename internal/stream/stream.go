@@ -5,6 +5,13 @@
 // asynchronously (e.g. when a simnet flow finishes). Events reproduce the
 // cudaEventRecord / cudaStreamWaitEvent synchronization the paper's engine
 // uses to couple its load, migration, and execution streams (§4.3.4).
+//
+// The package sits on the serving hot path — every inference submits a
+// handful of tasks per layer — so the queue machinery is allocation-free in
+// steady state: the task queue is a reusable ring, the built-in task kinds
+// (Do, Delay, Record, Wait) are tagged entries rather than closures, each
+// stream's completion callback is allocated once at construction, and an
+// event's first waiter is stored inline instead of growing a slice.
 package stream
 
 import (
@@ -16,6 +23,9 @@ import (
 type Event struct {
 	fired   bool
 	firedAt sim.Time
+	// waiter0 inlines the common single-waiter case; waiters carries any
+	// overflow in registration order.
+	waiter0 func()
 	waiters []func()
 }
 
@@ -35,6 +45,10 @@ func (e *Event) OnFire(fn func()) {
 		fn()
 		return
 	}
+	if e.waiter0 == nil {
+		e.waiter0 = fn
+		return
+	}
 	e.waiters = append(e.waiters, fn)
 }
 
@@ -50,8 +64,11 @@ func (e *Event) fire(at sim.Time) {
 	}
 	e.fired = true
 	e.firedAt = at
-	ws := e.waiters
-	e.waiters = nil
+	w0, ws := e.waiter0, e.waiters
+	e.waiter0, e.waiters = nil, nil
+	if w0 != nil {
+		w0()
+	}
 	for _, w := range ws {
 		w()
 	}
@@ -62,9 +79,26 @@ func (e *Event) fire(at sim.Time) {
 // the stream advance.
 type Task func(done func())
 
+// Built-in task kinds. kindTask runs a caller-provided Task; the others are
+// interpreted by the stream loop directly so the convenience entry points
+// never allocate a closure per call.
+type taskKind uint8
+
+const (
+	kindTask taskKind = iota
+	kindDo
+	kindDelay
+	kindRecord
+	kindWait
+)
+
 type queued struct {
 	name string
-	run  Task
+	kind taskKind
+	run  Task         // kindTask
+	fn   func()       // kindDo
+	ev   *Event       // kindRecord, kindWait
+	d    sim.Duration // kindDelay
 }
 
 // Stream executes tasks in FIFO order, one at a time.
@@ -72,48 +106,107 @@ type Stream struct {
 	sim     *sim.Simulator
 	name    string
 	queue   []queued
+	head    int // index of the next task to start; queue[:head] is spent
 	running bool
+	// done is the completion callback handed to every task, allocated once.
+	// curName and completed track the task it currently belongs to.
+	done      func()
+	curName   string
+	completed bool
 }
 
 // New returns an idle stream driven by s.
 func New(s *sim.Simulator, name string) *Stream {
-	return &Stream{sim: s, name: name}
+	st := &Stream{sim: s, name: name}
+	st.done = st.complete
+	return st
 }
 
 // Name returns the stream's diagnostic name.
 func (st *Stream) Name() string { return st.name }
 
 // Idle reports whether the stream has no running or queued work.
-func (st *Stream) Idle() bool { return !st.running && len(st.queue) == 0 }
+func (st *Stream) Idle() bool { return !st.running && st.head == len(st.queue) }
 
 // QueueLen returns the number of tasks waiting (not counting a running one).
-func (st *Stream) QueueLen() int { return len(st.queue) }
+func (st *Stream) QueueLen() int { return len(st.queue) - st.head }
 
-// Submit enqueues a task.
-func (st *Stream) Submit(name string, run Task) {
-	st.queue = append(st.queue, queued{name: name, run: run})
+// push appends an entry and starts it immediately if the stream is idle.
+func (st *Stream) push(q queued) {
+	st.queue = append(st.queue, q)
 	if !st.running {
-		st.startNext()
+		st.advance()
 	}
 }
 
-func (st *Stream) startNext() {
-	if len(st.queue) == 0 {
-		st.running = false
-		return
+// Submit enqueues a task.
+func (st *Stream) Submit(name string, run Task) {
+	st.push(queued{name: name, kind: kindTask, run: run})
+}
+
+// complete is the shared completion callback: it finishes the task the
+// stream is currently running and advances to the next. Completing the same
+// task twice is the classic stream-corruption bug, so it panics while the
+// task is still current (a stale second call after the stream has moved on
+// to other asynchronous work is indistinguishable from a fresh completion
+// and corrupts ordering — callers must call done exactly once).
+func (st *Stream) complete() {
+	if st.completed {
+		panic("stream: task " + st.curName + " on " + st.name + " completed twice")
 	}
-	st.running = true
-	next := st.queue[0]
-	st.queue = st.queue[1:]
-	completed := false
-	done := func() {
-		if completed {
-			panic("stream: task " + next.name + " on " + st.name + " completed twice")
+	st.completed = true
+	st.advance()
+}
+
+// advance starts queued tasks until one completes asynchronously (or the
+// queue drains). Built-in kinds are interpreted inline, so chains of
+// instantaneous Do/Record tasks run iteratively rather than recursing
+// through a completion callback per task.
+func (st *Stream) advance() {
+	for {
+		if st.head == len(st.queue) {
+			// Drained: recycle the ring in place.
+			st.queue = st.queue[:0]
+			st.head = 0
+			st.running = false
+			return
 		}
-		completed = true
-		st.startNext()
+		next := &st.queue[st.head]
+		st.head++
+		st.running = true
+		kind := next.kind
+		switch kind {
+		case kindDo:
+			fn := next.fn
+			*next = queued{}
+			fn()
+		case kindRecord:
+			ev := next.ev
+			*next = queued{}
+			ev.fire(st.sim.Now())
+		case kindWait:
+			ev := next.ev
+			*next = queued{}
+			if ev.fired {
+				continue
+			}
+			st.curName, st.completed = "wait", false
+			ev.OnFire(st.done)
+			return
+		case kindDelay:
+			st.curName, st.completed = next.name, false
+			d := next.d
+			*next = queued{}
+			st.sim.After(d, st.done)
+			return
+		default: // kindTask
+			st.curName, st.completed = next.name, false
+			run := next.run
+			*next = queued{}
+			run(st.done)
+			return
+		}
 	}
-	next.run(done)
 }
 
 // Delay enqueues a task that occupies the stream for d of virtual time.
@@ -123,33 +216,23 @@ func (st *Stream) Delay(name string, d sim.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	st.Submit(name, func(done func()) {
-		st.sim.After(d, done)
-	})
+	st.push(queued{name: name, kind: kindDelay, d: d})
 }
 
 // Do enqueues an instantaneous task: fn runs when the stream reaches it.
 func (st *Stream) Do(name string, fn func()) {
-	st.Submit(name, func(done func()) {
-		fn()
-		done()
-	})
+	st.push(queued{name: name, kind: kindDo, fn: fn})
 }
 
 // Record enqueues a task that fires e when the stream reaches it,
 // mirroring cudaEventRecord.
 func (st *Stream) Record(e *Event) {
-	st.Submit("record", func(done func()) {
-		e.fire(st.sim.Now())
-		done()
-	})
+	st.push(queued{name: "record", kind: kindRecord, ev: e})
 }
 
 // Wait enqueues a task that blocks the stream until e fires, mirroring
 // cudaStreamWaitEvent. If e already fired the stream passes through without
 // consuming time.
 func (st *Stream) Wait(e *Event) {
-	st.Submit("wait", func(done func()) {
-		e.OnFire(done)
-	})
+	st.push(queued{name: "wait", kind: kindWait, ev: e})
 }

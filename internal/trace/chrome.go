@@ -29,6 +29,7 @@ func WriteChrome(w io.Writer, r *Recorder, meta map[string]string) error {
 	if r == nil {
 		return fmt.Errorf("trace: nil recorder")
 	}
+	r.sink().MergeViews() // fold in any still-buffered node-view events
 	events := r.Events()
 
 	// Stable sort by timestamp without disturbing the recorder.

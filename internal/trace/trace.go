@@ -19,6 +19,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
@@ -77,16 +78,22 @@ type Event struct {
 // *Recorder is the disabled state and accepts (and drops) every call.
 //
 // A Recorder may also be a node view (see Node): a lightweight handle that
-// remaps PIDs into a per-node range and appends into its root recorder's
-// event stream. Node views let N independent serving nodes share one
-// timeline — each node's GPUs, fabric, and server become distinct Perfetto
-// processes instead of colliding on GPU ids.
+// remaps PIDs into a per-node range and buffers its node's events until
+// MergeViews folds every view into the root recorder's stream. Node views
+// let N independent serving nodes share one timeline — each node's GPUs,
+// fabric, and server become distinct Perfetto processes instead of
+// colliding on GPU ids — and, because each view appends only to its own
+// buffer, N nodes may record from N goroutines concurrently without locks
+// (the parallel cluster driver relies on this; see internal/cluster).
 type Recorder struct {
 	events  []Event
 	asyncID int64
 	// pidNames carries display names for remapped process ids (registered
 	// by Node); the Chrome exporter consults it before its default naming.
 	pidNames map[int]string
+	// views lists the node views handed out by Node, in creation order;
+	// root recorders only.
+	views []*Recorder
 
 	// Node-view fields; zero for a root recorder.
 	root    *Recorder // non-nil marks this recorder as a view into root
@@ -125,12 +132,13 @@ func (r *Recorder) mapPID(pid int) int {
 	}
 }
 
-// add maps the event's PID through the view and appends it to the owning
-// recorder. Callers have already nil-checked r.
+// add maps the event's PID through the view and appends it to the view's
+// own buffer (root recorders append to the final stream directly). Buffered
+// view events become visible in the root stream only after MergeViews.
+// Callers have already nil-checked r.
 func (r *Recorder) add(e Event) {
 	e.PID = r.mapPID(e.PID)
-	s := r.sink()
-	s.events = append(s.events, e)
+	r.events = append(r.events, e)
 }
 
 // Node returns a view of r for cluster node n of servers with numGPUs GPUs
@@ -146,6 +154,7 @@ func (r *Recorder) Node(n, numGPUs int) *Recorder {
 	root := r.sink()
 	stride := numGPUs + 2 // GPUs plus per-node fabric and server processes
 	v := &Recorder{root: root, node: n, pidBase: n * stride, numGPUs: numGPUs}
+	root.views = append(root.views, v)
 	if root.pidNames == nil {
 		root.pidNames = make(map[int]string)
 	}
@@ -175,7 +184,9 @@ func (r *Recorder) NamePID(pid int, name string) {
 // Enabled reports whether events are being recorded.
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Len returns the number of recorded events.
+// Len returns the number of recorded events. For a node view this counts
+// the root's merged stream; call MergeViews on the root first to fold in
+// still-buffered view events.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
@@ -184,12 +195,56 @@ func (r *Recorder) Len() int {
 }
 
 // Events exposes the recorded events in insertion order (read-only use).
-// For a node view this is the root's full stream.
+// For a node view this is the root's full stream; view-buffered events
+// appear only after MergeViews.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	return r.sink().events
+}
+
+// MergeViews folds every node view's buffered events into the root stream
+// and empties the view buffers. The merge is deterministic: events are
+// ordered by timestamp, with the root's own events first among equals and
+// node views following in node order; events from the same source keep
+// their recording order. Running the same workload serially or with the
+// parallel cluster driver therefore yields a byte-identical stream — the
+// merge order depends only on what each node recorded, never on goroutine
+// interleaving. Safe to call repeatedly; a nil or view recorder is a no-op.
+func (r *Recorder) MergeViews() {
+	if r == nil || r.root != nil || len(r.views) == 0 {
+		return
+	}
+	type tagged struct {
+		src int // -1 for root events, view index otherwise
+		e   Event
+	}
+	n := len(r.events)
+	for _, v := range r.views {
+		n += len(v.events)
+	}
+	all := make([]tagged, 0, n)
+	for _, e := range r.events {
+		all = append(all, tagged{src: -1, e: e})
+	}
+	for i, v := range r.views {
+		for _, e := range v.events {
+			all = append(all, tagged{src: i, e: e})
+		}
+		v.events = nil
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].e.TS != all[b].e.TS {
+			return all[a].e.TS < all[b].e.TS
+		}
+		return all[a].src < all[b].src
+	})
+	merged := make([]Event, len(all))
+	for i := range all {
+		merged[i] = all[i].e
+	}
+	r.events = merged
 }
 
 // NextID hands out a fresh async-span ID, unique across all views of the

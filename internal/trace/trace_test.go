@@ -144,8 +144,9 @@ func TestAttachNetworkChangeOnly(t *testing.T) {
 	}
 }
 
-// Node views remap PIDs into disjoint per-node ranges, append into the
-// root's stream, and hand out async IDs unique across the whole cluster.
+// Node views remap PIDs into disjoint per-node ranges, buffer their events
+// until MergeViews folds them into the root's stream, and hand out async
+// IDs unique across the whole cluster.
 func TestNodeViewsShareRootWithDisjointPIDs(t *testing.T) {
 	root := New()
 	n0 := root.Node(0, 4)
@@ -156,6 +157,10 @@ func TestNodeViewsShareRootWithDisjointPIDs(t *testing.T) {
 	n0.Counter(FabricPID, "bw", 3, 1.5)
 	n1.Instant(ServerPID, TIDLifecycle, "serving", "c", 4)
 
+	if root.Len() != 0 {
+		t.Fatalf("root.Len() = %d before MergeViews, want 0 (views buffer)", root.Len())
+	}
+	root.MergeViews()
 	if root.Len() != 4 || n0.Len() != 4 || n1.Len() != 4 {
 		t.Fatalf("lens = %d/%d/%d, want 4 everywhere", root.Len(), n0.Len(), n1.Len())
 	}

@@ -51,6 +51,27 @@ if [ -n "$viol" ]; then
   fail=1
 fi
 
+# 4. Goroutine launches in simulation packages. Concurrency is allowed only
+#    under the conservative-lookahead protocol (DESIGN.md §10); every `go`
+#    statement must carry a "// deterministic:" note explaining how the
+#    goroutine's effects are ordered (barriers, channel happens-before) so
+#    output stays a pure function of (code, seed, flags).
+viol=$(awk '
+  /\/\/ deterministic:/ { ok = 1; next }
+  /^[ \t]*\/\// { next } # comment continuation keeps a pending note alive
+  /^[ \t]*go[ \t]+(func[ \t(]|[A-Za-z_])/ {
+    if (!ok) print FILENAME ":" FNR ": " $0
+    ok = 0; next
+  }
+  { ok = 0 }
+' $SRC)
+if [ -n "$viol" ]; then
+  echo "$viol"
+  echo "FAIL: goroutine launch in simulation packages without a '// deterministic:' note" >&2
+  echo "      (explain the synchronization that keeps output byte-identical, or move the concurrency out)" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
