@@ -14,6 +14,7 @@ import (
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments"
 	"deepplan/internal/forward"
+	"deepplan/internal/monitor"
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
 )
@@ -217,17 +218,25 @@ func BenchmarkFunctionalForwardPass(b *testing.B) {
 // BenchmarkServingThousandRequests measures the serving system's event
 // throughput at the Figure 13 operating point.
 func BenchmarkServingThousandRequests(b *testing.B) {
-	benchServingThousand(b, false)
+	benchServingThousand(b, false, false)
 }
 
 // BenchmarkServingThousandRequestsTraced repeats the same operating point
 // with the trace recorder and telemetry attached, so the observation
 // overhead stays an explicit, tracked number next to the untraced baseline.
 func BenchmarkServingThousandRequestsTraced(b *testing.B) {
-	benchServingThousand(b, true)
+	benchServingThousand(b, true, false)
 }
 
-func benchServingThousand(b *testing.B, traced bool) {
+// BenchmarkServingThousandRequestsMonitored attaches the dimensional
+// metrics registry instead: every request updates per-class counters and
+// latency histograms, so the monitoring hot path's cost is tracked next to
+// the unobserved baseline the same way tracing's is.
+func BenchmarkServingThousandRequestsMonitored(b *testing.B) {
+	benchServingThousand(b, false, true)
+}
+
+func benchServingThousand(b *testing.B, traced, monitored bool) {
 	b.Helper()
 	platform := deepplan.NewP38xlarge()
 	m, err := deepplan.LoadModel("bert-base")
@@ -242,6 +251,9 @@ func benchServingThousand(b *testing.B, traced bool) {
 		if traced {
 			opts.Trace = deepplan.NewTraceRecorder()
 			opts.Telemetry = true
+		}
+		if monitored {
+			opts.Monitor = deepplan.NewMetricsRegistry()
 		}
 		srv, err := platform.NewServer(opts)
 		if err != nil {
@@ -306,6 +318,21 @@ func BenchmarkClusterHundredNodes(b *testing.B) { benchCluster(b, 100, false) }
 
 // BenchmarkClusterHundredNodesParallel is the parallel-driver variant.
 func BenchmarkClusterHundredNodesParallel(b *testing.B) { benchCluster(b, 100, true) }
+
+// BenchmarkHistogramRecord measures the monitoring hot path: one histogram
+// observation on a pre-resolved handle (bucket index via float-bit
+// arithmetic, no label formatting, no map lookups). Steady state must stay
+// at 0 allocs/op — the handle and its bucket slots are resolved at setup.
+func BenchmarkHistogramRecord(b *testing.B) {
+	reg := monitor.New()
+	h := reg.Histogram("bench_latency_seconds", "bench", monitor.DefaultLatencyBuckets(),
+		"class", "warm")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000+1) * 1e-4)
+	}
+}
 
 // TestDisabledTracingAddsNoAllocations pins the zero-overhead-when-disabled
 // contract at the API boundary: every recorder entry point on a nil

@@ -37,11 +37,16 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
 	parallelSim := flag.Bool("parallel-sim", false, "run cluster simulations with per-node event queues on separate goroutines (byte-identical output)")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the representative serving run (fig13/fig15 only)")
+	metricsPath := flag.String("metrics", "", "write the representative run's OpenMetrics exposition (fig-slo only)")
 	telemetry := flag.Bool("telemetry", false, "append per-window resource telemetry to fig13/fig15 output")
 	flag.Parse()
 
 	if *tracePath != "" && *exp == "all" {
 		fmt.Fprintln(os.Stderr, "deepplan-bench: -trace needs a single experiment (-exp fig13 or -exp fig15)")
+		os.Exit(2)
+	}
+	if *metricsPath != "" && *exp == "all" {
+		fmt.Fprintln(os.Stderr, "deepplan-bench: -metrics needs a single experiment (-exp fig-slo)")
 		os.Exit(2)
 	}
 
@@ -52,7 +57,8 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, Telemetry: *telemetry, ParallelSim: *parallelSim}
+	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, MetricsPath: *metricsPath,
+		Telemetry: *telemetry, ParallelSim: *parallelSim}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

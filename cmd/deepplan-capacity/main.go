@@ -11,6 +11,13 @@
 //	deepplan-capacity [-slo 300ms] [-target-rps 100] [-budget 15]
 //	                  [-workload poisson|maf] [-skew 1.0]
 //	                  [-json] [-quick] [-parallel [-workers N]] [-parallel-sim]
+//	                  [-metrics out.prom]
+//
+// -metrics re-runs the recommended configuration at its sustained rate with
+// the monitoring stack attached (dimensional registry + SLO burn-rate
+// monitor) and writes the final OpenMetrics exposition to the given file;
+// the confirmation's alert log goes to stderr. A recommendation that pages
+// its own SLO monitor during confirmation is not a recommendation.
 //
 // Stdout is a pure function of the flags: the table (or, with -json, the
 // plan document) is byte-identical serially, with -parallel, and across
@@ -28,6 +35,7 @@ import (
 
 	"deepplan/internal/capacity"
 	"deepplan/internal/experiments/runner"
+	"deepplan/internal/monitor"
 	"deepplan/internal/sim"
 )
 
@@ -50,6 +58,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "saturate independent grid points concurrently")
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
 	parallelSim := flag.Bool("parallel-sim", false, "run each probed cluster with per-node event queues on separate goroutines (byte-identical output)")
+	metricsPath := flag.String("metrics", "", "re-run the recommended configuration with full monitoring and write its OpenMetrics exposition here")
 	flag.Parse()
 
 	spec := capacity.SearchSpec{
@@ -93,7 +102,58 @@ func main() {
 			fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		plan.WriteTable(os.Stdout)
 	}
-	plan.WriteTable(os.Stdout)
+
+	// Confirmation pass: re-run the recommendation (or, with no feasible
+	// recommendation, the frontier's best point) with full monitoring and
+	// export the registry. The alert log goes to stderr so stdout stays a
+	// pure function of the flags in both output modes.
+	if *metricsPath != "" {
+		rec := plan.Recommendation
+		if rec == nil {
+			for i := range plan.Results {
+				r := &plan.Results[i]
+				if r.OnFrontier && (rec == nil || r.SustainedRPS > rec.SustainedRPS) {
+					rec = r
+				}
+			}
+		}
+		if rec == nil {
+			fmt.Fprintln(os.Stderr, "deepplan-capacity: -metrics: no configuration to confirm")
+			os.Exit(1)
+		}
+		conf, err := capacity.Confirm(*rec, spec, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepplan-capacity: confirm: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+			os.Exit(1)
+		}
+		if err := conf.Registry.WriteOpenMetrics(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[confirmation at %d rps: %s; OpenMetrics written to %s]\n",
+			conf.Rate, describeAlerts(conf.Alerts), *metricsPath)
+		for _, a := range conf.Alerts {
+			fmt.Fprintf(os.Stderr, "  %s\n", a)
+		}
+	}
+}
+
+func describeAlerts(alerts []monitor.Alert) string {
+	if len(alerts) == 0 {
+		return "every error budget held"
+	}
+	return fmt.Sprintf("%d alert(s)", len(alerts))
 }

@@ -18,8 +18,17 @@
 //
 // -faults arms a deterministic fault-injection schedule (GPU failures,
 // PCIe link degradation, straggler transfers, host-memory pressure); the
-// same spec and seed replay byte-identically. -admit enables SLO-aware
+// same spec and seed replay byte-identically. In cluster mode the schedule
+// strikes node 0 and the router routes around it. -admit enables SLO-aware
 // admission control, shedding cold-starts projected past admit×SLO.
+//
+// -metrics exports the run's dimensional metrics registry as OpenMetrics
+// text (Prometheus-compatible). In cluster mode it also arms the SLO
+// burn-rate monitor — multi-window alert rules over the goodput, cold-p99,
+// warm-p99, and shed error budgets — and prints the alert log;
+// -metrics-interval appends intermediate registry snapshots on the virtual
+// clock. Monitoring is observation-only and deterministic: the exposition
+// is byte-identical across reruns and across -parallel-sim.
 //
 // -parallel-sim (cluster mode) gives every node its own event queue on its
 // own goroutine, synchronized conservatively at the router. Stdout is a
@@ -56,6 +65,8 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "print the per-window resource telemetry table")
 	faultSpec := flag.String("faults", "", `fault-injection schedule, e.g. "gpu=1@2s+5s; link=gpu0-lane*0.3@1s+10s; rand=7/3@60s"`)
 	admit := flag.Float64("admit", 0, "SLO-aware admission: shed cold-starts projected over admit*SLO (0 disables)")
+	metricsPath := flag.String("metrics", "", "write an OpenMetrics snapshot of the run's metrics registry to this file")
+	metricsEvery := flag.Duration("metrics-interval", 0, "cluster mode: also append a registry snapshot every interval of sim time (0 = final snapshot only)")
 	nodes := flag.Int("nodes", 1, "cluster mode: number of serving nodes (>1 enables the multi-node router)")
 	route := flag.String("route", "least-outstanding", "cluster routing policy: round-robin | least-outstanding | affinity")
 	autoscale := flag.Bool("autoscale", false, "cluster mode: reactive per-model replica autoscaling from a 1-replica floor")
@@ -65,7 +76,8 @@ func main() {
 	if *nodes > 1 || *autoscale || *parallelSim {
 		runCluster(*nodes, *route, *autoscale, *parallelSim, *policy, *modelName,
 			*instances, *rate, *requests, *sloMs, *maxBatch, *seed, *maf,
-			*faultSpec, *tracePath, *telemetry)
+			*faultSpec, *admit, *tracePath, *telemetry,
+			*metricsPath, deepplan.Duration(*metricsEvery))
 		return
 	}
 
@@ -81,6 +93,10 @@ func main() {
 		}
 		fmt.Printf("faults armed:  %s\n", sched)
 	}
+	var reg *deepplan.MetricsRegistry
+	if *metricsPath != "" {
+		reg = deepplan.NewMetricsRegistry()
+	}
 	platform := deepplan.NewP38xlarge()
 	srv, err := platform.NewServer(deepplan.ServerOptions{
 		Policy:      deepplan.Mode(*policy),
@@ -90,6 +106,7 @@ func main() {
 		Telemetry:   *telemetry,
 		Faults:      sched,
 		AdmitFactor: *admit,
+		Monitor:     reg,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -212,6 +229,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), *tracePath)
 	}
+
+	if *metricsPath != "" {
+		writeMetrics(*metricsPath, reg)
+	}
+}
+
+// writeMetrics writes one OpenMetrics exposition of the registry.
+func writeMetrics(path string, reg *deepplan.MetricsRegistry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	werr := reg.WriteOpenMetrics(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fail("writing metrics: %v", werr)
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
 }
 
 // runCluster is the multi-node path: N independent simulated servers behind
@@ -221,9 +258,10 @@ func main() {
 // one shared clock; the printed report is byte-identical either way.
 func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, modelName string,
 	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
-	maf bool, faultSpec, tracePath string, telemetry bool) {
-	if maf || faultSpec != "" {
-		fail("cluster mode (-nodes > 1 / -autoscale) supports Poisson workloads without -maf or -faults")
+	maf bool, faultSpec string, admit float64, tracePath string, telemetry bool,
+	metricsPath string, metricsEvery deepplan.Duration) {
+	if maf {
+		fail("cluster mode (-nodes > 1 / -autoscale) supports Poisson workloads without -maf")
 	}
 	if nodes < 1 {
 		fail("-nodes must be >= 1")
@@ -232,17 +270,45 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 	if tracePath != "" {
 		rec = deepplan.NewTraceRecorder()
 	}
+	var sched *deepplan.FaultSchedule
+	if faultSpec != "" {
+		var err error
+		if sched, err = deepplan.ParseFaults(faultSpec); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("faults armed:  %s (node 0)\n", sched)
+	}
+	// -metrics enables the registry and the SLO burn-rate monitor; the file
+	// gets one exposition block per -metrics-interval of sim time (if set)
+	// plus a final snapshot, all byte-identical across -parallel-sim.
+	var reg *deepplan.MetricsRegistry
+	var alerts *deepplan.SLOConfig
+	var metricsFile *os.File
+	if metricsPath != "" {
+		reg = deepplan.NewMetricsRegistry()
+		alerts = &deepplan.SLOConfig{}
+		var err error
+		if metricsFile, err = os.Create(metricsPath); err != nil {
+			fail("%v", err)
+		}
+	}
 	platform := deepplan.NewP38xlarge()
 	c, err := platform.NewCluster(deepplan.ClusterOptions{
-		Nodes:     nodes,
-		Policy:    deepplan.Mode(policy),
-		Route:     deepplan.RoutePolicy(route),
-		SLO:       deepplan.Duration(sloMs) * sim.Millisecond,
-		MaxBatch:  maxBatch,
-		Autoscale: deepplan.AutoscaleConfig{Enabled: autoscale, Interval: sim.Second},
-		Trace:     rec,
-		Telemetry: telemetry,
-		Parallel:  parallelSim,
+		Nodes:           nodes,
+		Policy:          deepplan.Mode(policy),
+		Route:           deepplan.RoutePolicy(route),
+		SLO:             deepplan.Duration(sloMs) * sim.Millisecond,
+		MaxBatch:        maxBatch,
+		Autoscale:       deepplan.AutoscaleConfig{Enabled: autoscale, Interval: sim.Second},
+		Trace:           rec,
+		Telemetry:       telemetry,
+		Faults:          sched,
+		AdmitFactor:     admit,
+		Monitor:         reg,
+		Alerts:          alerts,
+		MetricsWriter:   metricsFile,
+		MetricsInterval: metricsEvery,
+		Parallel:        parallelSim,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -277,6 +343,19 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 	fmt.Printf("goodput:       %.2f%% (SLO %d ms)\n", rep.Goodput*100, sloMs)
 	fmt.Printf("cold starts:   %d, evictions %d, shed %d\n",
 		rep.ColdStarts, rep.Evictions, rep.Shed)
+	if faultSpec != "" {
+		fmt.Printf("faults:        %d GPU failures; %d retried\n",
+			rep.GPUFailures, rep.Retried)
+	}
+	if reg != nil {
+		fmt.Printf("\nalerts (SLO burn-rate monitor):\n")
+		if len(rep.Alerts) == 0 {
+			fmt.Printf("  none — every error budget held\n")
+		}
+		for _, a := range rep.Alerts {
+			fmt.Printf("  %s\n", a)
+		}
+	}
 	if autoscale {
 		for _, rs := range rep.Replicas {
 			fmt.Printf("autoscale:     %s: %d ups, %d downs; %d of %d replicas active\n",
@@ -319,6 +398,17 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 			fail("writing trace: %v", werr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", rec.Len(), tracePath)
+	}
+
+	if metricsFile != nil {
+		werr := reg.WriteOpenMetrics(metricsFile)
+		if cerr := metricsFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fail("writing metrics: %v", werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshots to %s\n", metricsPath)
 	}
 }
 

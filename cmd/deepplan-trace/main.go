@@ -9,10 +9,18 @@
 //
 //	deepplan-server -instances 140 -trace run.json
 //	deepplan-trace run.json
+//	deepplan-server -nodes 4 -trace cluster.json
+//	deepplan-trace -by-node cluster.json
 //
 // The numbers come from the request lifecycle rows the server attaches to
 // every async begin event, so no span pairing is needed; the same file loads
 // unmodified in https://ui.perfetto.dev for visual inspection.
+//
+// -by-node appends a per-node section for cluster traces (deepplan-server
+// -nodes N -trace): each node's request classes and serving events
+// separately, resolved through the trace's process-name metadata — the
+// fastest way to see which node a fault schedule or a routing imbalance
+// actually hit.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 type event struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
 	Args map[string]any `json:"args"`
 }
 
@@ -60,8 +69,9 @@ func (b *breakdown) add(args map[string]any) bool {
 }
 
 func main() {
+	byNode := flag.Bool("by-node", false, "also break classes and serving events down per cluster node")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: deepplan-trace <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: deepplan-trace [-by-node] <trace.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,8 +89,42 @@ func main() {
 		fail("parsing %s: %v", path, err)
 	}
 
+	// Process-name metadata maps pids to display names; cluster traces name
+	// each node's processes "node<i> ..." (trace.Recorder node views), which
+	// is what -by-node groups by.
+	pidNode := map[int]string{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "M" || e.Name != "process_name" {
+			continue
+		}
+		name, ok := e.Args["name"].(string)
+		if !ok {
+			continue
+		}
+		if node, _, found := strings.Cut(name, " "); found && strings.HasPrefix(node, "node") {
+			pidNode[e.Pid] = node
+		}
+	}
+
 	classes := map[string]*breakdown{}
 	instants := map[string]int{}
+	type nodeAgg struct {
+		classes  map[string]*breakdown
+		instants map[string]int
+	}
+	nodes := map[string]*nodeAgg{}
+	forNode := func(e event) *nodeAgg {
+		node, ok := pidNode[e.Pid]
+		if !ok {
+			return nil
+		}
+		na := nodes[node]
+		if na == nil {
+			na = &nodeAgg{classes: map[string]*breakdown{}, instants: map[string]int{}}
+			nodes[node] = na
+		}
+		return na
+	}
 	for _, e := range tf.TraceEvents {
 		switch e.Ph {
 		case "b":
@@ -96,10 +140,21 @@ func main() {
 				}
 				b.add(e.Args)
 			}
+			if na := forNode(e); na != nil {
+				b := na.classes[class]
+				if b == nil {
+					b = &breakdown{}
+					na.classes[class] = b
+				}
+				b.add(e.Args)
+			}
 		case "i":
 			// Serving instants are named "<verb> <model>"; tally by verb.
 			verb, _, _ := strings.Cut(e.Name, " ")
 			instants[verb]++
+			if na := forNode(e); na != nil {
+				na.instants[verb]++
+			}
 		}
 	}
 	if len(classes) == 0 {
@@ -144,6 +199,57 @@ func main() {
 			fmt.Printf(" %s=%d", v, instants[v])
 		}
 		fmt.Println()
+	}
+
+	if *byNode {
+		if len(nodes) == 0 {
+			fail("%s has no per-node process metadata (-by-node needs a cluster trace from deepplan-server -nodes N -trace)", path)
+		}
+		nodeNames := make([]string, 0, len(nodes))
+		for n := range nodes {
+			nodeNames = append(nodeNames, n)
+		}
+		// Numeric-aware order: node2 before node10.
+		sort.Slice(nodeNames, func(i, j int) bool {
+			if len(nodeNames[i]) != len(nodeNames[j]) {
+				return len(nodeNames[i]) < len(nodeNames[j])
+			}
+			return nodeNames[i] < nodeNames[j]
+		})
+		fmt.Printf("\nper-node (%d nodes):\n", len(nodeNames))
+		fmt.Printf("%-28s %7s  %8s %8s  %8s %8s  %8s %8s  %8s %8s\n",
+			"node/class", "n", "queue", "p99", "load", "p99", "exec", "p99", "total", "p99")
+		for _, n := range nodeNames {
+			na := nodes[n]
+			for _, class := range sortedBreakdownKeys(na.classes) {
+				b := na.classes[class]
+				fmt.Printf("%-28s %7d  %8.1f %8.1f  %8.1f %8.1f  %8.1f %8.1f  %8.1f %8.1f\n",
+					n+" "+class, b.total.Count(),
+					ms(b.queue.Mean()), ms(b.queue.P99()),
+					ms(b.load.Mean()), ms(b.load.P99()),
+					ms(b.exec.Mean()), ms(b.exec.P99()),
+					ms(b.total.Mean()), ms(b.total.P99()))
+			}
+		}
+		for _, n := range nodeNames {
+			na := nodes[n]
+			var nv []string
+			for v := range na.instants {
+				if v == "drain" || v == "batch" || v == "cold" {
+					continue
+				}
+				nv = append(nv, v)
+			}
+			if len(nv) == 0 {
+				continue
+			}
+			sort.Strings(nv)
+			fmt.Printf("%s events:", n)
+			for _, v := range nv {
+				fmt.Printf(" %s=%d", v, na.instants[v])
+			}
+			fmt.Println()
+		}
 	}
 }
 

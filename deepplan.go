@@ -41,6 +41,7 @@ import (
 	"deepplan/internal/engine"
 	"deepplan/internal/faults"
 	"deepplan/internal/metrics"
+	"deepplan/internal/monitor"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
@@ -88,7 +89,26 @@ type (
 	// FaultSchedule is a deterministic fault-injection schedule for
 	// ServerOptions.Faults. Build one with ParseFaults.
 	FaultSchedule = faults.Schedule
+	// MetricsRegistry is the dimensional metrics registry for
+	// ServerOptions.Monitor / ClusterOptions.Monitor: counters, gauges, and
+	// log-bucketed histograms keyed by labels, exportable as OpenMetrics
+	// text via its WriteOpenMetrics method. Build one with
+	// NewMetricsRegistry; nil disables monitoring at zero cost.
+	MetricsRegistry = monitor.Registry
+	// SLOConfig parameterizes the cluster's SLO burn-rate monitor
+	// (ClusterOptions.Alerts): error budgets per SLI and the multi-window
+	// page/ticket burn thresholds. The zero value takes defaults scaled to
+	// the run horizon.
+	SLOConfig = monitor.SLOConfig
+	// Alert is one burn-rate alert from a monitored cluster run
+	// (ClusterReport.Alerts).
+	Alert = monitor.Alert
 )
+
+// NewMetricsRegistry returns an enabled metrics registry. A nil
+// *MetricsRegistry disables monitoring at zero cost (every handle becomes
+// a no-op), mirroring the TraceRecorder contract.
+func NewMetricsRegistry() *MetricsRegistry { return monitor.New() }
 
 // ParseFaults parses a fault-injection spec like
 // "gpu=1@2s+5s; link=gpu0-lane*0.3@1s+10s; straggler=copy/4@0s+20s;
@@ -293,6 +313,10 @@ type ServerOptions struct {
 	// latency exceeds AdmitFactor×SLO (SLO-aware admission control). Zero
 	// disables admission control, the paper's setting.
 	AdmitFactor float64
+	// Monitor, when non-nil, streams serving metrics (request latency
+	// histograms by class, queue depth, GPU busy time, cold starts, sheds,
+	// fault state) into the registry. Observation-only, like Trace.
+	Monitor *MetricsRegistry
 }
 
 // Server is a simulated multi-GPU inference server.
@@ -315,6 +339,7 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		Telemetry:   opts.Telemetry,
 		Faults:      opts.Faults,
 		AdmitFactor: opts.AdmitFactor,
+		Monitor:     opts.Monitor,
 	})
 }
 
@@ -362,6 +387,26 @@ type ClusterOptions struct {
 	Trace *TraceRecorder
 	// Telemetry enables the cluster-aggregated windowed resource snapshot.
 	Telemetry bool
+	// Faults arms a deterministic fault-injection schedule against node 0
+	// (failures strike one machine; the router works around it). Build with
+	// ParseFaults.
+	Faults *FaultSchedule
+	// AdmitFactor enables per-node SLO-aware admission control (see
+	// ServerOptions.AdmitFactor).
+	AdmitFactor float64
+	// Monitor, when non-nil, collects the whole cluster — every node plus
+	// the router and autoscaler — into one metrics registry with node
+	// labels. Export with WriteOpenMetrics.
+	Monitor *MetricsRegistry
+	// Alerts, with Monitor set, runs the SLO burn-rate monitor during the
+	// run; alerts land in ClusterReport.Alerts, the registry, and the
+	// trace. Use &SLOConfig{} for horizon-scaled defaults.
+	Alerts *SLOConfig
+	// MetricsWriter, with MetricsInterval > 0 and Monitor set, appends an
+	// OpenMetrics exposition block of the registry every interval of sim
+	// time during the run.
+	MetricsWriter   io.Writer
+	MetricsInterval Duration
 	// Parallel runs each node's event queue on its own goroutine with
 	// conservative-lookahead synchronization at the router. Reports and
 	// traces stay byte-identical to the default serial clock; only
@@ -378,17 +423,23 @@ func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
 		policy = serving.PolicyPTDHA
 	}
 	return cluster.New(cluster.Config{
-		Nodes:       opts.Nodes,
-		NewTopology: p.build,
-		Cost:        p.cost,
-		Policy:      policy,
-		Route:       opts.Route,
-		SLO:         opts.SLO,
-		MaxBatch:    opts.MaxBatch,
-		Autoscale:   opts.Autoscale,
-		Trace:       opts.Trace,
-		Telemetry:   opts.Telemetry,
-		Parallel:    opts.Parallel,
+		Nodes:           opts.Nodes,
+		NewTopology:     p.build,
+		Cost:            p.cost,
+		Policy:          policy,
+		Route:           opts.Route,
+		SLO:             opts.SLO,
+		MaxBatch:        opts.MaxBatch,
+		Autoscale:       opts.Autoscale,
+		Trace:           opts.Trace,
+		Telemetry:       opts.Telemetry,
+		Faults:          opts.Faults,
+		AdmitFactor:     opts.AdmitFactor,
+		Monitor:         opts.Monitor,
+		Alerts:          opts.Alerts,
+		MetricsWriter:   opts.MetricsWriter,
+		MetricsInterval: opts.MetricsInterval,
+		Parallel:        opts.Parallel,
 	})
 }
 

@@ -33,6 +33,7 @@ import (
 	"deepplan/internal/cluster"
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments/runner"
+	"deepplan/internal/monitor"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -282,9 +283,17 @@ type probe struct {
 // the spec: sustained means goodput at target, cold and warm p99 inside
 // the SLO, and nothing shed.
 func evaluate(pt Point, spec SearchSpec, rate int) (probe, error) {
+	p, _, err := evaluateMonitored(pt, spec, rate, nil, nil)
+	return p, err
+}
+
+// evaluateMonitored is evaluate with an optional metrics registry and SLO
+// alert config wired into the cluster (both nil during the search, which
+// keeps probes monitoring-free and cheap).
+func evaluateMonitored(pt Point, spec SearchSpec, rate int, reg *monitor.Registry, alerts *monitor.SLOConfig) (probe, *cluster.Report, error) {
 	newTopo, err := topologyFactory(pt.Topology)
 	if err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	var as cluster.AutoscaleConfig
 	if pt.Autoscale {
@@ -298,26 +307,28 @@ func evaluate(pt Point, spec SearchSpec, rate int) (probe, error) {
 		SLO:         spec.SLO,
 		MaxBatch:    pt.MaxBatch,
 		Autoscale:   as,
+		Monitor:     reg,
+		Alerts:      alerts,
 		Parallel:    spec.Parallel,
 	})
 	if err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	model, err := dnn.ByName(spec.Model)
 	if err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	if err := c.Deploy(model, spec.Replicas); err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	c.Warmup()
 	reqs, err := spec.requests(rate)
 	if err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	rep, err := c.Run(reqs)
 	if err != nil {
-		return probe{}, err
+		return probe{}, nil, err
 	}
 	p := probe{
 		goodput:    rep.Goodput,
@@ -334,7 +345,46 @@ func evaluate(pt Point, spec SearchSpec, rate int) (probe, error) {
 		rep.ColdP99 <= spec.SLO &&
 		rep.WarmP99 <= spec.SLO &&
 		rep.Shed == 0
-	return p, nil
+	return p, rep, nil
+}
+
+// Confirmation is the monitored re-run of a plan's recommended (or any
+// chosen) configuration: the full registry of the run at the sustained
+// rate, plus any SLO burn-rate alerts it raised. A capacity answer that
+// pages its own SLO monitor during confirmation is not an answer.
+type Confirmation struct {
+	// Rate is the offered load of the confirmation run: the result's
+	// sustained rate, or the search floor when it sustained nothing.
+	Rate int
+	// Registry holds every metric of the confirmation run; export it with
+	// WriteOpenMetrics.
+	Registry *monitor.Registry
+	// Alerts is the burn-rate monitor's alert log (empty when the
+	// configuration honestly sustains the rate).
+	Alerts []monitor.Alert
+}
+
+// Confirm re-runs one saturation result's configuration at its sustained
+// rate with full monitoring attached. The search itself stays
+// monitoring-free; this is the one extra oracle call that turns a plan
+// into an auditable artifact — dashboards from Registry, a clean (or not)
+// alert log from the burn-rate monitor. alerts nil uses the SLO monitor's
+// defaults with the spec's SLO-derived budgets untouched.
+func Confirm(r Result, spec SearchSpec, alerts *monitor.SLOConfig) (*Confirmation, error) {
+	spec = spec.withDefaults()
+	rate := r.SustainedRPS
+	if rate <= 0 {
+		rate = spec.MinRate
+	}
+	if alerts == nil {
+		alerts = &monitor.SLOConfig{}
+	}
+	reg := monitor.New()
+	_, rep, err := evaluateMonitored(r.Point, spec, rate, reg, alerts)
+	if err != nil {
+		return nil, err
+	}
+	return &Confirmation{Rate: rate, Registry: reg, Alerts: rep.Alerts}, nil
 }
 
 // Result is one grid point's saturation outcome with its dollar economics.

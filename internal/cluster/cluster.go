@@ -38,11 +38,15 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"sort"
+	"strconv"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
+	"deepplan/internal/faults"
 	"deepplan/internal/metrics"
+	"deepplan/internal/monitor"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -118,6 +122,35 @@ type Config struct {
 	// Telemetry enables per-node windowed telemetry and its cluster-level
 	// aggregation in Report.Telemetry.
 	Telemetry bool
+	// Faults arms a fault-injection schedule against node 0 (the blast
+	// radius of real incidents is a machine, not a fleet): that node's GPUs
+	// fail and recover, its links degrade, and the router — which only sees
+	// load and liveness — routes around it. Nil runs byte-identical to a
+	// cluster built before faults existed.
+	Faults *faults.Schedule
+	// AdmitFactor enables per-node SLO-aware admission control (see
+	// serving.Config.AdmitFactor). Zero disables it.
+	AdmitFactor float64
+	// Monitor, when non-nil, streams the whole cluster into one dimensional
+	// metrics registry: each node records through a Registry.Node view
+	// carrying a node label (so the parallel simulator's per-node goroutines
+	// never share storage), and the router adds routing, autoscaling, and
+	// sim-clock series at the cluster level. Observation-only.
+	Monitor *monitor.Registry
+	// Alerts, when non-nil (and Monitor is set), runs the SLO burn-rate
+	// monitor on the router clock: cluster-wide error-budget ratios are
+	// sampled at fixed sim-time ticks and multi-window rules raise
+	// page/ticket alerts into Report.Alerts, the registry, and the trace's
+	// router track. Tick instants are pre-scheduled simulation events, so
+	// alerts are deterministic and identical serial vs parallel.
+	Alerts *monitor.SLOConfig
+	// MetricsWriter, with MetricsInterval > 0 and Monitor set, appends one
+	// OpenMetrics exposition block of the registry every interval of sim
+	// time during the run (each block ends `# EOF`; the file is a
+	// concatenation of expositions, newest last). Callers typically append
+	// a final snapshot after Run returns. Write errors surface from Run.
+	MetricsWriter   io.Writer
+	MetricsInterval sim.Duration
 	// Parallel gives every node its own event queue and runs the nodes on
 	// separate goroutines between router interaction points (conservative
 	// lookahead; see Run). Reports and traces are byte-identical to the
@@ -147,6 +180,9 @@ type modelState struct {
 	// is the instant the integral was last brought current.
 	activeNS   int64
 	lastChange sim.Time
+	// activeG mirrors active into the monitor registry; nil when
+	// monitoring is off.
+	activeG *monitor.Gauge
 }
 
 // accrue brings the replica-second integral current at virtual time now.
@@ -188,6 +224,14 @@ type Cluster struct {
 	winColdBase int
 
 	scaleUps, scaleDowns int
+
+	// Monitoring state; all nil/zero when Config.Monitor is nil.
+	mon       *monitor.Registry
+	slo       *monitor.SLOMonitor
+	routedC   []*monitor.Counter // router decisions by destination node
+	scalesC   [2]*monitor.Counter
+	simTimeG  *monitor.Gauge
+	exportErr error // first interval-export write failure
 }
 
 // New builds a Cluster of cfg.Nodes independent serving nodes on one
@@ -236,11 +280,13 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		sim:    sim.New(),
-		rec:    cfg.Trace,
-		models: map[string]*modelState{},
-		routed: make([]int, cfg.Nodes),
+		cfg:     cfg,
+		sim:     sim.New(),
+		rec:     cfg.Trace,
+		mon:     cfg.Monitor,
+		models:  map[string]*modelState{},
+		routed:  make([]int, cfg.Nodes),
+		routedC: make([]*monitor.Counter, cfg.Nodes),
 	}
 	c.rec.NamePID(trace.ServerPID, "cluster router") // no-op when tracing is off
 	for i := 0; i < cfg.Nodes; i++ {
@@ -252,6 +298,10 @@ func New(cfg Config) (*Cluster, error) {
 			// and Run synchronizes the two at those points.
 			nodeSim = sim.New()
 		}
+		var sched *faults.Schedule
+		if i == 0 {
+			sched = cfg.Faults // faults strike node 0; the router works around it
+		}
 		srv, err := serving.New(serving.Config{
 			Topo:        topo,
 			Cost:        cfg.Cost,
@@ -261,14 +311,25 @@ func New(cfg Config) (*Cluster, error) {
 			WindowWidth: cfg.WindowWidth,
 			Batch:       cfg.Batch,
 			MaxBatch:    cfg.MaxBatch,
+			Faults:      sched,
+			AdmitFactor: cfg.AdmitFactor,
 			Trace:       c.rec.Node(i, topo.NumGPUs()),
 			Telemetry:   cfg.Telemetry,
+			Monitor:     c.mon.Node(i),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		c.nodes = append(c.nodes, &node{id: i, srv: srv, sim: nodeSim})
+		c.routedC[i] = c.mon.Counter("deepplan_routed",
+			"Requests the router dispatched, by destination node.", "node", strconv.Itoa(i))
 	}
+	c.scalesC[0] = c.mon.Counter("deepplan_scale_events",
+		"Autoscaler replica-count changes, by direction.", "direction", "up")
+	c.scalesC[1] = c.mon.Counter("deepplan_scale_events",
+		"Autoscaler replica-count changes, by direction.", "direction", "down")
+	c.simTimeG = c.mon.Gauge("deepplan_sim_time_seconds",
+		"Virtual time of the most recent registry snapshot.")
 	return c, nil
 }
 
@@ -300,10 +361,14 @@ func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
 			active = replicas
 		}
 	}
-	c.models[model.Name] = &modelState{
+	m := &modelState{
 		name: model.Name, replicas: replicas, active: active, base: base,
 		lastChange: c.sim.Now(),
+		activeG: c.mon.Gauge("deepplan_active_replicas",
+			"Replicas receiving traffic (autoscaler output).", "model", model.Name),
 	}
+	m.activeG.Set(float64(active))
+	c.models[model.Name] = m
 	c.order = append(c.order, model.Name)
 	return nil
 }
@@ -423,6 +488,7 @@ func (c *Cluster) handle(req Request) error {
 		return fmt.Errorf("cluster: every node is down at %v", c.sim.Now())
 	}
 	c.routed[n.id]++
+	c.routedC[n.id].Inc()
 	c.submitted++
 	return n.srv.Submit(workload.Request{At: req.At, Instance: m.base + replica})
 }
@@ -462,9 +528,12 @@ func (c *Cluster) scaleTick() {
 		if m.active != before {
 			if m.active > before {
 				c.scaleUps++
+				c.scalesC[0].Inc()
 			} else {
 				c.scaleDowns++
+				c.scalesC[1].Inc()
 			}
+			m.activeG.Set(float64(m.active))
 			if c.rec != nil {
 				kind := "scale-up "
 				if m.active < before {
@@ -512,10 +581,45 @@ func (c *Cluster) Run(requests []Request) (*Report, error) {
 			}
 		})
 	}
-	if c.cfg.Autoscale.Enabled && len(requests) > 0 {
-		horizon := requests[len(requests)-1].At
+	var horizon sim.Time
+	if len(requests) > 0 {
+		horizon = requests[len(requests)-1].At
+	}
+	if c.cfg.Autoscale.Enabled && horizon > 0 {
 		for t := sim.Time(0).Add(c.cfg.Autoscale.Interval); t <= horizon; t = t.Add(c.cfg.Autoscale.Interval) {
 			c.sim.At(t, c.scaleTick)
+		}
+	}
+	// Monitoring ticks are ordinary router events scheduled up front, so
+	// they land at identical instants in serial and parallel runs — that is
+	// what makes alerts and interval exports deterministic. In parallel
+	// mode each tick is a synchronization barrier like any other router
+	// event: every node is parked at the tick's timestamp, so reading the
+	// per-node registry views is race-free.
+	//
+	// Each tick fires one nanosecond after its nominal instant. Fault
+	// schedules are pre-scheduled on the node simulators at construction,
+	// before Run pre-schedules these ticks: under the shared serial clock a
+	// fault event at time t therefore fires before a tick at t, but the
+	// parallel barrier only advances nodes to events strictly before the
+	// tick's timestamp. Nudging the tick past t gives both modes the same
+	// boundary — every node event through t is visible, none after.
+	const tickSkew = sim.Duration(1)
+	if c.mon != nil && c.cfg.Alerts != nil && horizon > 0 {
+		acfg := *c.cfg.Alerts
+		if acfg.AlertLatency == 0 {
+			// Internal latency objective: page when cold/warm latency mass
+			// crosses 80% of the contractual SLO, before goodput burns.
+			acfg.AlertLatency = c.cfg.SLO * 4 / 5
+		}
+		c.slo = monitor.NewSLO(c.mon, c.rec, acfg, horizon.Sub(0))
+		for t := sim.Time(0).Add(c.slo.Interval()); t <= horizon; t = t.Add(c.slo.Interval()) {
+			c.sim.At(t.Add(tickSkew), func() { c.slo.Tick(c.sim.Now()) })
+		}
+	}
+	if c.mon != nil && c.cfg.MetricsWriter != nil && c.cfg.MetricsInterval > 0 && horizon > 0 {
+		for t := sim.Time(0).Add(c.cfg.MetricsInterval); t <= horizon; t = t.Add(c.cfg.MetricsInterval) {
+			c.sim.At(t.Add(tickSkew), c.exportTick)
 		}
 	}
 	if c.cfg.Parallel {
@@ -528,6 +632,19 @@ func (c *Cluster) Run(requests []Request) (*Report, error) {
 		return nil, firstErr
 	}
 	return c.report(len(requests))
+}
+
+// exportTick appends one OpenMetrics exposition block to the configured
+// writer at the current virtual instant. The first write failure is
+// remembered and surfaced from Run; later ticks become no-ops.
+func (c *Cluster) exportTick() {
+	if c.exportErr != nil {
+		return
+	}
+	c.simTimeG.Set(c.sim.Now().Sub(0).Seconds())
+	if err := c.mon.WriteOpenMetrics(c.cfg.MetricsWriter); err != nil {
+		c.exportErr = fmt.Errorf("cluster: metrics export at %v: %w", c.sim.Now(), err)
+	}
 }
 
 // now returns the cluster-wide virtual time: the router clock in serial
@@ -605,18 +722,26 @@ type Report struct {
 	// Telemetry is the cluster-level aggregation of every node's windowed
 	// telemetry; nil unless Config.Telemetry was set.
 	Telemetry []metrics.TelemetryStat
+	// Alerts is the SLO burn-rate monitor's alert log in firing order; nil
+	// unless Config.Monitor and Config.Alerts were both set.
+	Alerts []monitor.Alert
 }
 
 func (c *Cluster) report(requests int) (*Report, error) {
+	if c.exportErr != nil {
+		return nil, c.exportErr
+	}
 	r := &Report{
 		Nodes:    len(c.nodes),
 		Route:    c.cfg.Route,
 		Policy:   c.cfg.Policy,
 		Requests: requests,
 	}
+	end := c.now()
 	var all, cold, warm metrics.Digest
 	var perNode [][]metrics.TelemetryStat
 	for _, n := range c.nodes {
+		n.srv.FinalizeMonitor(end) // cluster-wide horizon, identical serial vs parallel
 		rep, err := n.srv.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
@@ -652,8 +777,11 @@ func (c *Cluster) report(requests int) (*Report, error) {
 	r.WarmP99 = warm.P99()
 	r.Goodput = all.GoodputRate(c.cfg.SLO)
 	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
-	end := c.now()
 	r.Horizon = end.Sub(0)
+	c.simTimeG.Set(r.Horizon.Seconds())
+	if c.slo != nil {
+		r.Alerts = c.slo.Finalize(end)
+	}
 	names := append([]string(nil), c.order...)
 	sort.Strings(names)
 	for _, name := range names {

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/faults"
+	"deepplan/internal/monitor"
+	"deepplan/internal/sim"
+	"deepplan/internal/workload"
+)
+
+// monitorFaultSpec mirrors the fig-faults schedule at test scale.
+const monitorFaultSpec = "gpu=1@1s+1500ms; link=gpu0-lane*0.4@500ms+2s; straggler=copy/3@2s+1s"
+
+// runMonitored builds a cluster from cfg (attaching a fresh registry, the
+// SLO monitor, and an interval metrics export into a buffer), replays a
+// Poisson workload, and returns the report, the interval exposition bytes,
+// and the final exposition of the registry.
+func runMonitored(t *testing.T, cfg Config, replicas, requests int, rate float64) (*Report, []byte, []byte) {
+	t.Helper()
+	reg := monitor.New()
+	var exports bytes.Buffer
+	cfg.Monitor = reg
+	cfg.Alerts = &monitor.SLOConfig{}
+	cfg.MetricsWriter = &exports
+	cfg.MetricsInterval = sim.Second
+	rep := runPlain(t, cfg, replicas, requests, rate)
+	var final bytes.Buffer
+	if err := reg.WriteOpenMetrics(&final); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	return rep, exports.Bytes(), final.Bytes()
+}
+
+// runPlain is runOnce without the trace recorder: build, deploy, warm up,
+// replay, check invariants, return the report.
+func runPlain(t *testing.T, cfg Config, replicas, requests int, rate float64) *Report {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m, err := dnn.ByName("bert-base")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if err := c.Deploy(m, replicas); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	c.Warmup()
+	reqs := toCluster("BERT-Base", workload.Poisson(17, rate, requests, c.models["BERT-Base"].active))
+	rep, err := c.Run(reqs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestMonitoringIsObservationFree pins the observation-freedom contract at
+// the cluster level: attaching the full monitoring stack — registry, SLO
+// burn-rate monitor, interval OpenMetrics export — must leave the run's
+// report exactly as an unmonitored run produces it. Alerts is the one field
+// monitoring adds; everything else must match field for field, including
+// under a fault schedule (whose events interleave with monitor ticks).
+func TestMonitoringIsObservationFree(t *testing.T) {
+	sched, err := faults.Parse(monitorFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain-4", Config{Nodes: 4}},
+		{"faulted-4", Config{Nodes: 4, Faults: sched}},
+		{"autoscale-2", Config{
+			Nodes:       2,
+			WindowWidth: 10 * sim.Second,
+			Autoscale:   AutoscaleConfig{Enabled: true, Interval: sim.Second},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := runPlain(t, tc.cfg, 24, 400, 120)
+			got, _, _ := runMonitored(t, tc.cfg, 24, 400, 120)
+			if got.Alerts == nil {
+				t.Fatal("monitored run returned a nil alert log (monitor not attached?)")
+			}
+			got.Alerts = nil
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("monitoring changed the report:\nplain:     %+v\nmonitored: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestMetricsExportSerialParallelIdentical is the exporter's determinism
+// contract: the interval exposition stream and the final exposition are
+// byte-identical between the serial shared-clock driver and the per-node
+// parallel driver, and across reruns of the same mode — under a fault
+// schedule, which exercises the tick-skew ordering between pre-scheduled
+// fault events and monitor barriers.
+func TestMetricsExportSerialParallelIdentical(t *testing.T) {
+	sched, err := faults.Parse(monitorFaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Nodes: 4, Faults: sched}
+	serialCfg, parallelCfg := base, base
+	parallelCfg.Parallel = true
+
+	serialRep, serialStream, serialFinal := runMonitored(t, serialCfg, 24, 400, 120)
+	rerunRep, rerunStream, rerunFinal := runMonitored(t, serialCfg, 24, 400, 120)
+	parRep, parStream, parFinal := runMonitored(t, parallelCfg, 24, 400, 120)
+
+	if len(serialStream) == 0 || len(serialFinal) == 0 {
+		t.Fatal("no exposition bytes produced")
+	}
+	if !bytes.Equal(serialStream, rerunStream) || !bytes.Equal(serialFinal, rerunFinal) {
+		t.Fatal("serial rerun exported different bytes")
+	}
+	if !bytes.Equal(serialStream, parStream) {
+		t.Fatalf("parallel interval exposition diverged from serial (%d vs %d bytes)",
+			len(serialStream), len(parStream))
+	}
+	if !bytes.Equal(serialFinal, parFinal) {
+		t.Fatalf("parallel final exposition diverged from serial (%d vs %d bytes)",
+			len(serialFinal), len(parFinal))
+	}
+	if !reflect.DeepEqual(serialRep, rerunRep) || !reflect.DeepEqual(serialRep, parRep) {
+		t.Fatal("monitored reports diverged across modes")
+	}
+}

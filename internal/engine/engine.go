@@ -17,9 +17,11 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
+	"deepplan/internal/monitor"
 	"deepplan/internal/pcm"
 	"deepplan/internal/plan"
 	"deepplan/internal/sim"
@@ -47,6 +49,11 @@ type Config struct {
 	// and behaves byte-identically to a failable engine that never fails a
 	// GPU — fault support is observation-free until a fault actually fires.
 	Failable bool
+	// Monitor, when non-nil, receives per-GPU run counters (completed and
+	// aborted runs, execution-stream seconds, host→GPU copy and DHA bytes)
+	// keyed by a gpu label. Instruments resolve once at construction; the
+	// per-run cost is a few counter adds. Like Trace, observation-only.
+	Monitor *monitor.Registry
 }
 
 // gpuStreams is the per-device stream set.
@@ -75,6 +82,15 @@ type Engine struct {
 	// models are constructed once and shared across runs, so the cache stays
 	// bounded by the number of distinct models the engine ever serves.
 	names map[*dnn.Model]*modelNames
+
+	// mon holds per-GPU monitoring instruments; nil when monitoring is off.
+	mon *engInstruments
+}
+
+// engInstruments are the engine's pre-resolved monitor handles, one slot
+// per GPU so the per-run path does no label work.
+type engInstruments struct {
+	runs, aborted, execSeconds, loadedBytes, dhaBytes []*monitor.Counter
 }
 
 // layerNames holds the pre-built stream-task names for one layer.
@@ -130,6 +146,23 @@ func New(cfg Config) *Engine {
 			load:      stream.New(cfg.Sim, fmt.Sprintf("gpu%d/load", i)),
 			migration: stream.New(cfg.Sim, fmt.Sprintf("gpu%d/migration", i)),
 		})
+	}
+	if reg := cfg.Monitor; reg != nil {
+		m := &engInstruments{}
+		for i := 0; i < cfg.Topo.NumGPUs(); i++ {
+			g := strconv.Itoa(i)
+			m.runs = append(m.runs, reg.Counter("deepplan_engine_runs",
+				"Completed inference runs by primary GPU.", "gpu", g))
+			m.aborted = append(m.aborted, reg.Counter("deepplan_engine_aborted_runs",
+				"Runs aborted mid-flight by an injected GPU failure.", "gpu", g))
+			m.execSeconds = append(m.execSeconds, reg.Counter("deepplan_engine_exec_seconds",
+				"Execution-stream occupancy (first layer start to finish).", "gpu", g))
+			m.loadedBytes = append(m.loadedBytes, reg.Counter("deepplan_engine_loaded_bytes",
+				"Host→GPU copy traffic.", "gpu", g))
+			m.dhaBytes = append(m.dhaBytes, reg.Counter("deepplan_engine_dha_bytes",
+				"Direct-host-access traffic.", "gpu", g))
+		}
+		e.mon = m
 	}
 	return e
 }
@@ -767,6 +800,17 @@ func (e *Engine) finalize(r *Result) {
 	}
 	if last > 0 {
 		r.LoadWindowStart, r.LoadWindowEnd = first, last
+	}
+	if m := e.mon; m != nil {
+		g := r.Primary
+		if r.Aborted {
+			m.aborted[g].Inc()
+		} else {
+			m.runs[g].Inc()
+			m.execSeconds[g].Add(r.ExecTime().Seconds())
+		}
+		m.loadedBytes[g].Add(r.BytesLoaded)
+		m.dhaBytes[g].Add(r.BytesDHA)
 	}
 }
 

@@ -36,6 +36,10 @@ type Options struct {
 	// timeline and write it there as Chrome trace-event JSON. Tracing is
 	// observation-only, so the experiment tables are unchanged.
 	TracePath string
+	// MetricsPath, when non-empty, makes experiments that run a monitored
+	// simulation (fig-slo) write one representative configuration's final
+	// OpenMetrics exposition there. Observation-only, like TracePath.
+	MetricsPath string
 	// Telemetry appends a per-window resource table (cold-start ratio,
 	// queue depth, busy fraction, evictions) for that same representative
 	// configuration to the supporting experiments' output.
@@ -76,6 +80,7 @@ var registry = []Experiment{
 	{"fig-faults", "Fault injection: graceful degradation under GPU/link faults", FigFaults},
 	{"fig-cluster", "Cluster serving: routing policies and autoscaling across nodes", FigCluster},
 	{"fig-capacity", "Capacity planning: cost-vs-capacity frontier over the config grid", FigCapacity},
+	{"fig-slo", "SLO monitor: burn-rate alerts under faults, per cold-start policy", FigSLO},
 }
 
 // All returns every experiment in presentation order.

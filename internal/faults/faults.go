@@ -64,6 +64,9 @@ const (
 	// modelling host-memory bandwidth collapse that slows all host→GPU
 	// traffic at once.
 	MemPressure
+
+	// NumKinds bounds the enum for per-kind instrument tables.
+	NumKinds = int(MemPressure) + 1
 )
 
 // String returns the kind's spec-grammar keyword.

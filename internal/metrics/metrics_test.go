@@ -228,3 +228,56 @@ func TestSeriesBadWindowPanics(t *testing.T) {
 	}()
 	NewSeries(0, sim.Second)
 }
+
+// TestQuantileSortCaching pins the sorted-flag contract: the first Quantile
+// call sorts the samples once and repeated queries reuse the order; an Add
+// invalidates it. Regression guard for the quadratic failure mode where
+// every percentile query re-sorts an already sorted slice (the serving
+// report asks for P50/P99/Max on the same digest back to back).
+func TestQuantileSortCaching(t *testing.T) {
+	var d Digest
+	for i := 2000; i > 0; i-- {
+		d.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	if d.sorted {
+		t.Fatal("digest sorted before any quantile query")
+	}
+	p99 := d.Quantile(0.99)
+	if !d.sorted {
+		t.Fatal("first Quantile call did not mark the digest sorted")
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		d.Quantile(q)
+		if !d.sorted {
+			t.Fatalf("Quantile(%v) dropped the sorted flag", q)
+		}
+	}
+	if got := d.Quantile(0.99); got != p99 {
+		t.Fatalf("cached-order P99 = %v, first P99 = %v", got, p99)
+	}
+	d.Add(sim.Microsecond)
+	if d.sorted {
+		t.Fatal("Add did not invalidate the sort")
+	}
+	if got := d.Quantile(0); got != sim.Microsecond {
+		t.Fatalf("Quantile(0) after invalidating Add = %v, want 1µs", got)
+	}
+}
+
+// BenchmarkDigestQuantiles measures the report pattern — many percentile
+// queries against one settled digest. With the cached sort this is a bounds
+// check per query; without it, an O(n log n) re-sort each time.
+func BenchmarkDigestQuantiles(b *testing.B) {
+	var d Digest
+	for i := 100_000; i > 0; i-- {
+		d.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	d.Quantile(0.5) // settle the sort outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Quantile(0.50)
+		d.Quantile(0.99)
+		d.Quantile(0.999)
+	}
+}

@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"math"
+)
+
+// Buckets is an HDR-style log2 bucket layout: every power of two is split
+// into 2^sub equal-mantissa sub-buckets, giving a constant relative error
+// of about 2^-sub per bucket (sub=3 → ~9%). Bucket membership is computed
+// with pure integer operations on the IEEE-754 bit pattern — no math.Log,
+// no platform-dependent rounding — so layouts and counts are identical on
+// every host and every run:
+//
+//	key(v) = (Float64bits(v) - 1) >> (52 - sub)
+//
+// For positive floats the bit pattern is order-isomorphic to the value, so
+// key is monotone; the -1 makes the upper bound inclusive (a value exactly
+// on a bucket boundary lands in the lower bucket, matching OpenMetrics
+// `le` semantics exactly). Values at or below the layout floor clamp into
+// the first bucket; values above the ceiling land in the +Inf bucket.
+type Buckets struct {
+	shift  uint
+	base   uint64 // key of the first finite bucket
+	n      int    // number of finite buckets
+	bounds []float64
+}
+
+// NewLog2Buckets builds a layout covering [min, max] with 2^sub sub-buckets
+// per power of two. min and max must be positive finite with min < max;
+// sub must be in [0, 8].
+func NewLog2Buckets(min, max float64, sub uint) *Buckets {
+	if !(min > 0) || !(max > min) || math.IsInf(max, 0) || sub > 8 {
+		panic("monitor: invalid log2 bucket layout")
+	}
+	shift := uint(52) - sub
+	key := func(v float64) uint64 { return (math.Float64bits(v) - 1) >> shift }
+	b := &Buckets{shift: shift, base: key(min)}
+	b.n = int(key(max)-b.base) + 1
+	b.bounds = make([]float64, b.n)
+	for i := range b.bounds {
+		b.bounds[i] = math.Float64frombits((b.base + uint64(i) + 1) << shift)
+	}
+	return b
+}
+
+// Index maps a value to its bucket slot: 0..n-1 for finite buckets, n for
+// the +Inf overflow bucket.
+func (b *Buckets) Index(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	k := (math.Float64bits(v) - 1) >> b.shift
+	if k < b.base {
+		return 0
+	}
+	if i := int(k - b.base); i < b.n {
+		return i
+	}
+	return b.n
+}
+
+// UpperBound reports the inclusive upper bound of finite bucket i, or +Inf
+// for i == n.
+func (b *Buckets) UpperBound(i int) float64 {
+	if i >= b.n {
+		return math.Inf(1)
+	}
+	return b.bounds[i]
+}
+
+// NumFinite reports the number of finite buckets.
+func (b *Buckets) NumFinite() int { return b.n }
+
+// DefaultLatencyBuckets covers 100µs to 120s at ~9% resolution — wide
+// enough for warm single-digit-millisecond hits and pathological
+// fault-window cold starts alike.
+func DefaultLatencyBuckets() *Buckets { return NewLog2Buckets(100e-6, 120, 3) }
+
+// DefaultDepthBuckets covers queue depths 1 to 4096 at one-in-two
+// resolution; depth observations are small integers, where coarse buckets
+// keep export size down.
+func DefaultDepthBuckets() *Buckets { return NewLog2Buckets(1, 4096, 1) }
+
+// Histogram is a pre-resolved histogram series handle. Observe is
+// allocation-free; all methods are no-ops on a nil handle.
+type Histogram struct {
+	s *series
+	b *Buckets
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.s.counts[h.b.Index(v)]++
+	h.s.sum += v
+	h.s.count++
+}
+
+// Count reports the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.s.count
+}
+
+// Quantile reports the q-quantile (0 < q ≤ 1) estimated from bucket upper
+// bounds: the value returned is the inclusive upper bound of the bucket
+// holding the rank-ceil(q·count) observation, i.e. an overestimate by at
+// most one bucket width (~9% with default layouts). Returns 0 with no
+// observations; +Inf if the rank falls in the overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.s.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.s.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.s.counts {
+		cum += c
+		if cum >= rank {
+			return h.b.UpperBound(i)
+		}
+	}
+	return h.b.UpperBound(h.b.n)
+}

@@ -11,6 +11,7 @@ import (
 	"deepplan/internal/gpumem"
 	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
+	"deepplan/internal/monitor"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
@@ -89,6 +90,15 @@ type Config struct {
 	// admission control (zero disables it); under fault injection shedding
 	// hopeless cold-starts is what keeps the tail bounded while degraded.
 	AdmitFactor float64
+	// Monitor, when non-nil, streams the run into a dimensional metrics
+	// registry: request/violation counters and latency histograms by
+	// class+model+policy, queue depth, per-GPU busy time and failure
+	// state, shed/evict/relocate/defer/retry counts, plus the engine's
+	// per-GPU run counters. In cluster mode each node receives a registry
+	// view (Registry.Node) carrying a node label. Like Trace, monitoring
+	// is observation-only: a monitored run is byte-identical to an
+	// unmonitored one, and a nil registry costs zero allocations.
+	Monitor *monitor.Registry
 }
 
 // InstanceState is an instance's residency state.
@@ -157,6 +167,9 @@ type Deployment struct {
 	// requests that cannot meet the latency budget even on an idle server.
 	LoadEst sim.Duration
 	ExecEst sim.Duration
+	// mon holds the deployment's pre-resolved monitor handles; nil when
+	// monitoring is off.
+	mon *depInstruments
 }
 
 type gpuState struct {
@@ -194,6 +207,7 @@ type Server struct {
 
 	rec      *trace.Recorder    // nil when tracing is off
 	tel      *metrics.Telemetry // nil when telemetry is off
+	ins      *instruments       // nil when monitoring is off
 	inj      *faults.Injector   // nil when no fault schedule is armed
 	traceSeq int64              // request ids for async lifecycle spans
 
@@ -257,7 +271,7 @@ func New(cfg Config) (*Server, error) {
 		net: net,
 		eng: engine.New(engine.Config{
 			Sim: s, Net: net, Topo: cfg.Topo, Cost: cfg.Cost, Trace: cfg.Trace,
-			Failable: !cfg.Faults.Empty(),
+			Failable: !cfg.Faults.Empty(), Monitor: cfg.Monitor,
 		}),
 		pl:          planner.New(cfg.Topo),
 		host:        hostmem.NewStore(cfg.HostMemory),
@@ -269,6 +283,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Telemetry {
 		srv.tel = metrics.NewTelemetry(cfg.WindowWidth, cfg.Topo.NumGPUs())
 	}
+	srv.ins = newInstruments(cfg.Monitor, cfg.Policy, cfg.Topo.NumGPUs())
 	for _, g := range cfg.Topo.GPUs {
 		usable := g.MemoryBytes - cfg.ReservePerGPU
 		if usable <= 0 {
@@ -294,8 +309,12 @@ func New(cfg Config) (*Server, error) {
 	return srv, nil
 }
 
-// onFaultEvent records fault window transitions onto the trace timeline.
+// onFaultEvent records fault window transitions onto the trace timeline
+// and counts window openings per kind in the registry.
 func (srv *Server) onFaultEvent(e faults.Event, active bool) {
+	if srv.ins != nil && active && int(e.Kind) < len(srv.ins.faultEvents) {
+		srv.ins.faultEvents[e.Kind].Inc()
+	}
 	if srv.rec == nil {
 		return
 	}
@@ -318,6 +337,10 @@ func (srv *Server) onGPUDown(id int) {
 	}
 	gs.down = true
 	srv.gpuFailures++
+	if srv.ins != nil {
+		srv.ins.gpuFailures[id].Inc()
+		srv.ins.gpuUp[id].Set(0)
+	}
 	if srv.rec != nil {
 		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "faults",
 			"gpu-fail", srv.sim.Now(), map[string]any{"gpu": id})
@@ -341,6 +364,9 @@ func (srv *Server) onGPUUp(id int) {
 	gs := srv.gpus[id]
 	gs.down = false
 	srv.eng.RecoverGPU(id)
+	if srv.ins != nil {
+		srv.ins.gpuUp[id].Set(1)
+	}
 	if srv.rec != nil {
 		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "faults",
 			"gpu-recover", srv.sim.Now(), map[string]any{"gpu": id})
@@ -385,6 +411,7 @@ func (srv *Server) Deploy(model *dnn.Model, count int) error {
 				sim.Duration(srv.cfg.Topo.PerCopyOverheadNanos)),
 			ExecEst: srv.cfg.Cost.ModelExecTime(model, srv.cfg.Batch),
 		}
+		dep.mon = srv.ins.deployInstruments(srv.cfg.Policy, model.Name)
 		srv.deployments[model.Name] = dep
 	}
 	for i := 0; i < count; i++ {
@@ -562,12 +589,19 @@ func (srv *Server) handle(req workload.Request) {
 func (srv *Server) dispatch(p pending) {
 	inst := srv.instances[p.req.Instance]
 	inst.lastUsed = srv.sim.Now()
-	if srv.tel != nil && p.attempt == 0 {
+	if (srv.tel != nil || srv.ins != nil) && p.attempt == 0 {
 		depth := 0
 		for _, g := range srv.gpus {
 			depth += g.queued
 		}
-		srv.tel.Arrival(srv.sim.Now(), depth)
+		if srv.tel != nil {
+			srv.tel.Arrival(srv.sim.Now(), depth)
+		}
+		if srv.ins != nil {
+			srv.ins.arrivals.Inc()
+			srv.ins.depth.Set(float64(depth))
+			srv.ins.depthH.Observe(float64(depth))
+		}
 	}
 	if inst.state == Warm && srv.shouldRelocate(inst) {
 		// The instance's GPU is congested while another is nearly idle:
@@ -584,6 +618,9 @@ func (srv *Server) dispatch(p pending) {
 		srv.relocations++
 		if srv.tel != nil {
 			srv.tel.Relocation(srv.sim.Now())
+		}
+		if srv.ins != nil {
+			srv.ins.relocations.Inc()
 		}
 	}
 	if inst.state == Warm {
@@ -604,6 +641,9 @@ func (srv *Server) dispatch(p pending) {
 		}
 		if srv.tel != nil {
 			srv.tel.Deferred(srv.sim.Now())
+		}
+		if srv.ins != nil {
+			srv.ins.deferred.Inc()
 		}
 		srv.waitlist = append(srv.waitlist, waiting{inst, p})
 		return
@@ -657,6 +697,9 @@ func (srv *Server) shedRequest(inst *Instance, p pending, why string) {
 	if srv.tel != nil {
 		srv.tel.Shed(srv.sim.Now())
 	}
+	if srv.ins != nil {
+		srv.ins.shed.Inc()
+	}
 	if srv.rec != nil {
 		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
 			"shed "+inst.dep.Model.Name, srv.sim.Now(),
@@ -676,6 +719,9 @@ func (srv *Server) retryOrShed(inst *Instance, p pending) {
 	if srv.tel != nil {
 		srv.tel.Retried(srv.sim.Now())
 	}
+	if srv.ins != nil {
+		srv.ins.retried.Inc()
+	}
 	if srv.rec != nil {
 		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
 			"retry "+inst.dep.Model.Name, srv.sim.Now(),
@@ -688,7 +734,7 @@ func (srv *Server) retryOrShed(inst *Instance, p pending) {
 // the 0→1 transition when telemetry is on.
 func (srv *Server) busyUp(gs *gpuState) {
 	gs.queued++
-	if srv.tel != nil && gs.queued == 1 {
+	if (srv.tel != nil || srv.ins != nil) && gs.queued == 1 {
 		gs.busySince = srv.sim.Now()
 	}
 }
@@ -697,8 +743,13 @@ func (srv *Server) busyUp(gs *gpuState) {
 // 1→0 transition.
 func (srv *Server) busyDown(gs *gpuState) {
 	gs.queued--
-	if srv.tel != nil && gs.queued == 0 {
-		srv.tel.Busy(gs.busySince, srv.sim.Now())
+	if gs.queued == 0 {
+		if srv.tel != nil {
+			srv.tel.Busy(gs.busySince, srv.sim.Now())
+		}
+		if srv.ins != nil {
+			srv.ins.gpuBusy[gs.id].Add(srv.sim.Now().Sub(gs.busySince).Seconds())
+		}
 	}
 }
 
@@ -814,6 +865,9 @@ func (srv *Server) evict(inst *Instance) {
 	if srv.tel != nil {
 		srv.tel.Eviction(srv.sim.Now())
 	}
+	if srv.ins != nil {
+		srv.ins.evictions.Inc()
+	}
 }
 
 // startCold launches the cold-start run that also serves the request.
@@ -825,6 +879,9 @@ func (srv *Server) startCold(inst *Instance, p pending) {
 	inst.inflight++
 	if srv.tel != nil {
 		srv.tel.ColdStart(srv.sim.Now())
+	}
+	if srv.ins != nil {
+		inst.dep.mon.coldStarts.Inc()
 	}
 
 	coldPlan := inst.dep.Plan
@@ -1002,6 +1059,18 @@ func (srv *Server) record(req workload.Request, res *engine.Result, cold bool) {
 	srv.completed++
 	if srv.inj != nil && srv.inj.Active() > 0 {
 		srv.degraded++
+	}
+	if srv.ins != nil {
+		class := 1 // warm
+		if cold {
+			class = 0
+		}
+		m := srv.instances[req.Instance].dep.mon
+		m.requests[class].Inc()
+		if lat > srv.cfg.SLO {
+			m.violations[class].Inc()
+		}
+		m.latency[class].Observe(lat.Seconds())
 	}
 	if srv.rec != nil {
 		// One async row per request: an outer span covering the whole
@@ -1207,5 +1276,6 @@ func (srv *Server) report(n int) *Report {
 	if srv.tel != nil {
 		r.Telemetry = srv.tel.Stats(srv.sim.Now())
 	}
+	srv.FinalizeMonitor(srv.sim.Now())
 	return r
 }

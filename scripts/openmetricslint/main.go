@@ -1,0 +1,341 @@
+// openmetricslint validates the OpenMetrics text expositions written by
+// the -metrics flags (deepplan-server, deepplan-bench, deepplan-capacity)
+// against the subset of the OpenMetrics grammar the monitor package emits:
+//
+//   - every family is introduced by an optional `# HELP <name> <text>` line
+//     followed by a mandatory `# TYPE <name> counter|gauge|histogram` line,
+//   - sample lines are `<name>[{labels}] <value>` with valid metric and
+//     label names, counters suffixed `_total`, and values that parse as
+//     finite floats (NaN never belongs in a deterministic exposition),
+//   - histogram series carry cumulative, non-decreasing `_bucket` samples
+//     with strictly increasing `le` bounds ending at `+Inf`, and their
+//     `_count` equals the `+Inf` bucket,
+//   - families and series appear in sorted order (the exporter's
+//     determinism contract), and
+//   - the exposition ends with exactly one `# EOF` line.
+//
+// A file can contain several concatenated expositions (the interval
+// snapshots of -metrics-interval); each block is validated independently.
+//
+// Usage: go run ./scripts/openmetricslint file.prom [more.prom ...]
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: openmetricslint <file.prom> [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "openmetricslint: %v\n", err)
+			os.Exit(2)
+		}
+		errs := lintFile(path, string(data))
+		for _, e := range errs {
+			fmt.Println(e)
+		}
+		bad += len(errs)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "openmetricslint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("openmetrics lint: ok")
+}
+
+// lintFile splits the file into `# EOF`-terminated expositions and lints
+// each block on its own.
+func lintFile(path, data string) []string {
+	if data == "" {
+		return []string{path + ": empty file (no exposition)"}
+	}
+	if !strings.HasSuffix(data, "\n") {
+		return []string{path + ": missing trailing newline"}
+	}
+	var errs []string
+	lines := strings.Split(strings.TrimSuffix(data, "\n"), "\n")
+	start := 0
+	blocks := 0
+	for i, line := range lines {
+		if line != "# EOF" {
+			continue
+		}
+		blocks++
+		errs = append(errs, lintBlock(path, lines[start:i], start+1)...)
+		start = i + 1
+	}
+	if blocks == 0 {
+		errs = append(errs, path+": no '# EOF' terminator")
+	}
+	if start != len(lines) {
+		errs = append(errs, fmt.Sprintf("%s:%d: %d line(s) after the final '# EOF'", path, start+1, len(lines)-start))
+	}
+	return errs
+}
+
+// seriesState tracks one histogram series' bucket progression.
+type seriesState struct {
+	lastLE  float64
+	lastCum float64
+	infCum  float64
+	hasInf  bool
+}
+
+// lintBlock validates one exposition (the lines before its `# EOF`).
+// base is the 1-based file line number of the block's first line.
+func lintBlock(path string, lines []string, base int) []string {
+	var errs []string
+	fail := func(i int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s:%d: %s", path, base+i, fmt.Sprintf(format, args...)))
+	}
+	types := map[string]string{}      // family -> counter|gauge|histogram
+	helped := map[string]bool{}       // family had # HELP
+	hist := map[string]*seriesState{} // family + label sig -> bucket state
+	var famOrder []string
+	lastSig := map[string]string{} // family -> last series signature seen
+	cur := ""                      // family currently being emitted
+
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				fail(i, "malformed HELP line: %q", line)
+				continue
+			}
+			if helped[name] || types[name] != "" {
+				fail(i, "HELP for %s after the family already started", name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				fail(i, "malformed TYPE line: %q", line)
+				continue
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				fail(i, "unknown type %q for %s", kind, name)
+			}
+			if types[name] != "" {
+				fail(i, "duplicate TYPE for %s", name)
+			}
+			types[name] = kind
+			famOrder = append(famOrder, name)
+			cur = name
+		case strings.HasPrefix(line, "#"):
+			fail(i, "unexpected comment line: %q", line)
+		default:
+			metric, sig, val, err := parseSample(line)
+			if err != nil {
+				fail(i, "%v", err)
+				continue
+			}
+			fam, suffix := familyOf(metric, types)
+			if fam == "" {
+				fail(i, "sample %q has no preceding TYPE", metric)
+				continue
+			}
+			if fam != cur {
+				fail(i, "sample for %s interleaved into family %s", fam, cur)
+			}
+			kind := types[fam]
+			switch {
+			case kind == "counter" && suffix != "_total":
+				fail(i, "counter sample %q must use the _total suffix", metric)
+			case kind == "gauge" && suffix != "":
+				fail(i, "gauge sample %q must use the bare family name", metric)
+			case kind == "histogram" && suffix == "":
+				fail(i, "histogram sample %q needs a _bucket/_sum/_count suffix", metric)
+			}
+			if math.IsNaN(val) {
+				fail(i, "NaN value on %q", line)
+			}
+			if kind == "counter" && val < 0 {
+				fail(i, "negative counter value on %q", line)
+			}
+			bareSig, le, hasLE := splitLE(sig)
+			if kind == "histogram" && suffix == "_bucket" {
+				if !hasLE {
+					fail(i, "histogram bucket without le label: %q", line)
+					continue
+				}
+				key := fam + "{" + bareSig + "}"
+				st := hist[key]
+				if st == nil {
+					st = &seriesState{lastLE: math.Inf(-1), lastCum: -1}
+					hist[key] = st
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						fail(i, "unparsable le bound %q", le)
+						continue
+					}
+				}
+				if bound <= st.lastLE {
+					fail(i, "le bounds not increasing for %s (%v after %v)", key, bound, st.lastLE)
+				}
+				if val < st.lastCum {
+					fail(i, "bucket counts not cumulative for %s (%v after %v)", key, val, st.lastCum)
+				}
+				st.lastLE, st.lastCum = bound, val
+				if math.IsInf(bound, 1) {
+					st.hasInf, st.infCum = true, val
+				}
+			}
+			if kind == "histogram" && suffix == "_count" {
+				key := fam + "{" + bareSig + "}"
+				st := hist[key]
+				if st == nil || !st.hasInf {
+					fail(i, "histogram %s has _count but no +Inf bucket", key)
+				} else if st.infCum != val {
+					fail(i, "histogram %s _count %v != +Inf bucket %v", key, val, st.infCum)
+				}
+			}
+			// Series order within a family must be sorted by signature
+			// (determinism contract). Histogram suffixes share a signature.
+			if prev, ok := lastSig[fam]; ok && bareSig < prev {
+				fail(i, "series of %s out of sorted order (%q after %q)", fam, bareSig, prev)
+			}
+			lastSig[fam] = bareSig
+		}
+	}
+	if !sort.StringsAreSorted(famOrder) {
+		errs = append(errs, fmt.Sprintf("%s:%d: families out of sorted order in this exposition", path, base))
+	}
+	return errs
+}
+
+// parseSample splits `name{labels} value` into its parts and validates the
+// label syntax.
+func parseSample(line string) (metric, sig string, val float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		metric = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set: %q", line)
+		}
+		sig = line[i+1 : j]
+		rest = strings.TrimPrefix(line[j+1:], " ")
+		if err := checkLabels(sig); err != nil {
+			return "", "", 0, err
+		}
+	} else {
+		var ok bool
+		metric, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample line without value: %q", line)
+		}
+	}
+	if !validName(metric) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", metric)
+	}
+	if rest == "+Inf" {
+		return metric, sig, math.Inf(1), nil
+	}
+	val, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparsable value %q", rest)
+	}
+	return metric, sig, val, nil
+}
+
+// checkLabels validates a rendered label signature: comma-separated
+// key="value" pairs with valid names and closed quotes.
+func checkLabels(sig string) error {
+	if sig == "" {
+		return nil
+	}
+	for _, pair := range splitPairs(sig) {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok || !validName(key) {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitPairs splits on commas outside quoted values.
+func splitPairs(sig string) []string {
+	var out []string
+	inQ := false
+	start := 0
+	for i := 0; i < len(sig); i++ {
+		switch sig[i] {
+		case '\\':
+			i++
+		case '"':
+			inQ = !inQ
+		case ',':
+			if !inQ {
+				out = append(out, sig[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, sig[start:])
+}
+
+// splitLE strips the le="..." pair (the exporter appends it last) from a
+// rendered signature, returning the remaining signature, the le value, and
+// whether an le label was present.
+func splitLE(sig string) (bare, le string, ok bool) {
+	pairs := splitPairs(sig)
+	for i, pair := range pairs {
+		key, val, found := strings.Cut(pair, "=")
+		if !found || key != "le" {
+			continue
+		}
+		rest := append(append([]string{}, pairs[:i]...), pairs[i+1:]...)
+		return strings.Join(rest, ","), strings.Trim(val, `"`), true
+	}
+	return sig, "", false
+}
+
+// familyOf resolves a sample's family through the declared types, peeling
+// histogram/counter suffixes.
+func familyOf(metric string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count", "_total"} {
+		if base := strings.TrimSuffix(metric, s); base != metric && types[base] != "" {
+			return base, s
+		}
+	}
+	if types[metric] != "" {
+		return metric, ""
+	}
+	return "", ""
+}
+
+// validName reports whether s is a valid OpenMetrics metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
