@@ -14,6 +14,7 @@ import (
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments"
 	"deepplan/internal/forward"
+	"deepplan/internal/hostmem"
 	"deepplan/internal/monitor"
 	"deepplan/internal/sim"
 	"deepplan/internal/simnet"
@@ -349,5 +350,59 @@ func TestDisabledTracingAddsNoAllocations(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled recorder allocated %.1f per run; want 0", allocs)
+	}
+}
+
+// BenchmarkZooPinnedCacheLookup measures the host-cache tier's hot path: a
+// Lookup hit on a resident entry plus the recency Touch that follows it on
+// every cold dispatch. Steady state must stay at 0 allocs/op — the entry
+// handle is resolved once and hit/miss accounting is plain integer
+// arithmetic (gated by scripts/bench_compare.sh).
+func BenchmarkZooPinnedCacheLookup(b *testing.B) {
+	c, err := hostmem.NewCache(1<<30, hostmem.PolicyLRU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = "model-" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if _, _, err := c.Admit(names[i], 1<<20, sim.Millisecond, 0.5, sim.Time(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, ok := c.Lookup(names[i%len(names)])
+		if !ok {
+			b.Fatal("miss on resident entry")
+		}
+		c.Touch(e, sim.Time(i))
+	}
+}
+
+// TestZooCacheLookupAddsNoAllocations pins the allocation-free contract the
+// benchmark above measures, so it fails fast under plain `go test` instead
+// of only under the bench gate.
+func TestZooCacheLookupAddsNoAllocations(t *testing.T) {
+	c, err := hostmem.NewCache(1<<30, hostmem.PolicyCostAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Admit("m", 1<<20, sim.Millisecond, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		now++
+		e, ok := c.Lookup("m")
+		if !ok {
+			t.Fatal("miss on resident entry")
+		}
+		c.Touch(e, now)
+		c.Peek("m")
+	})
+	if allocs != 0 {
+		t.Fatalf("cache lookup allocated %.1f per run; want 0", allocs)
 	}
 }

@@ -39,6 +39,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace of the representative serving run (fig13/fig15 only)")
 	metricsPath := flag.String("metrics", "", "write the representative run's OpenMetrics exposition (fig-slo only)")
 	telemetry := flag.Bool("telemetry", false, "append per-window resource telemetry to fig13/fig15 output")
+	zoo := flag.Int("zoo", 0, "fig-zoo: run a single zoo of exactly N variants instead of the size sweep")
+	zooPolicy := flag.String("zoo-policy", "", "fig-zoo: host-cache policy (lru | cost); empty compares both")
 	flag.Parse()
 
 	if *tracePath != "" && *exp == "all" {
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, MetricsPath: *metricsPath,
-		Telemetry: *telemetry, ParallelSim: *parallelSim}
+		Telemetry: *telemetry, ParallelSim: *parallelSim, ZooN: *zoo, ZooPolicy: *zooPolicy}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

@@ -59,6 +59,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size for -parallel (default GOMAXPROCS)")
 	parallelSim := flag.Bool("parallel-sim", false, "run each probed cluster with per-node event queues on separate goroutines (byte-identical output)")
 	metricsPath := flag.String("metrics", "", "re-run the recommended configuration with full monitoring and write its OpenMetrics exposition here")
+	zoo := flag.Int("zoo", 0, "plan for an N-variant model zoo instead of -model/-replicas (dense packing + host cache)")
+	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for -zoo: lru | cost (default lru)")
 	flag.Parse()
 
 	spec := capacity.SearchSpec{
@@ -73,6 +75,8 @@ func main() {
 		MaxRate:       *maxRate,
 		Step:          *step,
 		Parallel:      *parallelSim,
+		Zoo:           *zoo,
+		ZooPolicy:     *zooPolicy,
 	}
 	if *quick {
 		spec.Duration = 2 * sim.Second

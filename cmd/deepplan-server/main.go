@@ -71,13 +71,18 @@ func main() {
 	route := flag.String("route", "least-outstanding", "cluster routing policy: round-robin | least-outstanding | affinity")
 	autoscale := flag.Bool("autoscale", false, "cluster mode: reactive per-model replica autoscaling from a 1-replica floor")
 	parallelSim := flag.Bool("parallel-sim", false, "cluster mode: per-node event queues on separate goroutines (byte-identical output)")
+	zoo := flag.Int("zoo", 0, "deploy an N-variant model zoo (tenants with Zipf popularity) instead of -model/-instances")
+	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for the zoo: pinned | lru | cost (default lru with -zoo)")
 	flag.Parse()
 
+	if *zoo > 0 && *zooPolicy == "" {
+		*zooPolicy = "lru"
+	}
 	if *nodes > 1 || *autoscale || *parallelSim {
 		runCluster(*nodes, *route, *autoscale, *parallelSim, *policy, *modelName,
 			*instances, *rate, *requests, *sloMs, *maxBatch, *seed, *maf,
 			*faultSpec, *admit, *tracePath, *telemetry,
-			*metricsPath, deepplan.Duration(*metricsEvery))
+			*metricsPath, deepplan.Duration(*metricsEvery), *zoo, *zooPolicy)
 		return
 	}
 
@@ -98,7 +103,7 @@ func main() {
 		reg = deepplan.NewMetricsRegistry()
 	}
 	platform := deepplan.NewP38xlarge()
-	srv, err := platform.NewServer(deepplan.ServerOptions{
+	opts := deepplan.ServerOptions{
 		Policy:      deepplan.Mode(*policy),
 		SLO:         deepplan.Duration(*sloMs) * sim.Millisecond,
 		MaxBatch:    *maxBatch,
@@ -107,13 +112,36 @@ func main() {
 		Faults:      sched,
 		AdmitFactor: *admit,
 		Monitor:     reg,
-	})
+	}
+	if *zoo > 0 {
+		// Zoo mode: the host cache is the elastic tier, so many small
+		// tenants share each GPU's memory.
+		opts.HostPolicy = deepplan.HostPolicy(*zooPolicy)
+		opts.Pack = deepplan.PackDense
+	}
+	srv, err := platform.NewServer(opts)
 	if err != nil {
 		fail("%v", err)
 	}
 
+	var z *deepplan.ModelZoo
 	var reqs []deepplan.Request
-	if *maf {
+	if *zoo > 0 {
+		if *maf {
+			fail("-zoo supports Poisson workloads without -maf")
+		}
+		if z, err = deepplan.NewModelZoo(deepplan.ZooSpec{N: *zoo}); err != nil {
+			fail("%v", err)
+		}
+		if err := srv.DeployZoo(z); err != nil {
+			fail("%v", err)
+		}
+		reqs = z.Requests(*seed, *rate, *requests)
+		fmt.Printf("deployed zoo of %d variants over %d shapes (%.1f GB weights), host policy %s\n",
+			len(z.Variants), len(z.Shapes), float64(z.TotalBytes)/1e9, *zooPolicy)
+		fmt.Printf("%d Zipf(%.1f) Poisson requests at %.0f rps\n",
+			len(reqs), z.Spec.Skew, *rate)
+	} else if *maf {
 		deployments, err := parseMix(*mix, *modelName, *instances)
 		if err != nil {
 			fail("%v", err)
@@ -174,6 +202,14 @@ func main() {
 	if rep.Relocations > 0 || rep.PTFallbacks > 0 {
 		fmt.Printf("rebalancing:   %d relocations, %d PT fallbacks\n",
 			rep.Relocations, rep.PTFallbacks)
+	}
+	if *zoo > 0 {
+		hitRate := 0.0
+		if lookups := rep.HostHits + rep.HostMisses; lookups > 0 {
+			hitRate = float64(rep.HostHits) / float64(lookups)
+		}
+		fmt.Printf("host cache:    %.1f%% hit rate (%d fetches), %d evictions, %.1f GB pinned\n",
+			hitRate*100, rep.HostMisses, rep.HostEvictions, float64(rep.HostPinned)/1e9)
 	}
 	if *faultSpec != "" {
 		fmt.Printf("faults:        %d GPU failures; %d retried, %d shed, %d completed degraded\n",
@@ -259,9 +295,12 @@ func writeMetrics(path string, reg *deepplan.MetricsRegistry) {
 func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, modelName string,
 	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
 	maf bool, faultSpec string, admit float64, tracePath string, telemetry bool,
-	metricsPath string, metricsEvery deepplan.Duration) {
+	metricsPath string, metricsEvery deepplan.Duration, zoo int, zooPolicy string) {
 	if maf {
 		fail("cluster mode (-nodes > 1 / -autoscale) supports Poisson workloads without -maf")
+	}
+	if zoo > 0 && autoscale {
+		fail("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
 	}
 	if nodes < 1 {
 		fail("-nodes must be >= 1")
@@ -293,7 +332,7 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 		}
 	}
 	platform := deepplan.NewP38xlarge()
-	c, err := platform.NewCluster(deepplan.ClusterOptions{
+	copts := deepplan.ClusterOptions{
 		Nodes:           nodes,
 		Policy:          deepplan.Mode(policy),
 		Route:           deepplan.RoutePolicy(route),
@@ -309,23 +348,44 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 		MetricsWriter:   metricsFile,
 		MetricsInterval: metricsEvery,
 		Parallel:        parallelSim,
-	})
+	}
+	if zoo > 0 {
+		copts.HostPolicy = deepplan.HostPolicy(zooPolicy)
+		copts.Pack = deepplan.PackDense
+	}
+	c, err := platform.NewCluster(copts)
 	if err != nil {
 		fail("%v", err)
 	}
-	m, err := deepplan.LoadModel(modelName)
-	if err != nil {
-		fail("%v", err)
+	var reqs []deepplan.ClusterRequest
+	if zoo > 0 {
+		z, err := deepplan.NewModelZoo(deepplan.ZooSpec{N: zoo})
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := c.DeployZoo(z); err != nil {
+			fail("%v", err)
+		}
+		warm := c.Warmup()
+		fmt.Printf("deployed zoo of %d variants over %d shapes on each of %d nodes (%d warm), route %s, host policy %s\n",
+			len(z.Variants), len(z.Shapes), nodes, warm, route, zooPolicy)
+		reqs = deepplan.ZooClusterRequests(z, z.Requests(seed, rate, requests))
+		fmt.Printf("%d Zipf(%.1f) Poisson requests at %.0f rps\n\n", len(reqs), z.Spec.Skew, rate)
+	} else {
+		m, err := deepplan.LoadModel(modelName)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := c.Deploy(m, instances); err != nil {
+			fail("%v", err)
+		}
+		warm := c.Warmup()
+		fmt.Printf("deployed %d x %s on each of %d nodes (%d instances warm), route %s\n",
+			instances, m.Name, nodes, warm, route)
+		reqs = deepplan.ClusterRequests(m.Name,
+			deepplan.PoissonWorkload(seed, rate, requests, instances))
+		fmt.Printf("%d Poisson requests at %.0f rps\n\n", len(reqs), rate)
 	}
-	if err := c.Deploy(m, instances); err != nil {
-		fail("%v", err)
-	}
-	warm := c.Warmup()
-	fmt.Printf("deployed %d x %s on each of %d nodes (%d instances warm), route %s\n",
-		instances, m.Name, nodes, warm, route)
-	reqs := deepplan.ClusterRequests(m.Name,
-		deepplan.PoissonWorkload(seed, rate, requests, instances))
-	fmt.Printf("%d Poisson requests at %.0f rps\n\n", len(reqs), rate)
 
 	start := time.Now()
 	rep, err := c.Run(reqs)
@@ -343,6 +403,14 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 	fmt.Printf("goodput:       %.2f%% (SLO %d ms)\n", rep.Goodput*100, sloMs)
 	fmt.Printf("cold starts:   %d, evictions %d, shed %d\n",
 		rep.ColdStarts, rep.Evictions, rep.Shed)
+	if zoo > 0 {
+		hitRate := 0.0
+		if lookups := rep.HostHits + rep.HostMisses; lookups > 0 {
+			hitRate = float64(rep.HostHits) / float64(lookups)
+		}
+		fmt.Printf("host cache:    %.1f%% hit rate (%d fetches), %d evictions\n",
+			hitRate*100, rep.HostMisses, rep.HostEvictions)
+	}
 	if faultSpec != "" {
 		fmt.Printf("faults:        %d GPU failures; %d retried\n",
 			rep.GPUFailures, rep.Retried)

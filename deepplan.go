@@ -40,8 +40,10 @@ import (
 	"deepplan/internal/dnn"
 	"deepplan/internal/engine"
 	"deepplan/internal/faults"
+	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
 	"deepplan/internal/monitor"
+	"deepplan/internal/registry"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
@@ -103,7 +105,56 @@ type (
 	// Alert is one burn-rate alert from a monitored cluster run
 	// (ClusterReport.Alerts).
 	Alert = monitor.Alert
+	// ModelZoo is a derived population of model variants (tenants) with
+	// Zipf popularity, for multi-tenant serving. Build with NewModelZoo.
+	ModelZoo = registry.Zoo
+	// ZooSpec parameterizes NewModelZoo (variant count, skew, bases,
+	// scales).
+	ZooSpec = registry.Spec
+	// ZooVariant is one tenant of a ModelZoo.
+	ZooVariant = registry.Variant
+	// HostPolicy selects the pinned host-memory tier's admission/eviction
+	// policy (ServerOptions.HostPolicy / ClusterOptions.HostPolicy).
+	HostPolicy = hostmem.Policy
+	// PackMode selects GPU placement packing (ServerOptions.Pack /
+	// ClusterOptions.Pack).
+	PackMode = serving.PackMode
 )
+
+// Host-memory tier policies for ServerOptions.HostPolicy.
+const (
+	// HostPolicyPinned pins every deployed model's weights up front and
+	// never evicts — the paper's setting; deploys beyond host memory fail.
+	HostPolicyPinned = hostmem.PolicyPinned
+	// HostPolicyLRU evicts the least-recently-used unlocked entry under
+	// capacity pressure.
+	HostPolicyLRU = hostmem.PolicyLRU
+	// HostPolicyCostAware evicts the unlocked entry with the lowest
+	// load_time × popularity score.
+	HostPolicyCostAware = hostmem.PolicyCostAware
+)
+
+// GPU packing modes for ServerOptions.Pack.
+const (
+	// PackSpread load-balances cold placements (the paper's placement).
+	PackSpread = serving.PackSpread
+	// PackDense bin-packs small (fractional) instances onto shared GPUs.
+	PackDense = serving.PackDense
+)
+
+// NewModelZoo derives a multi-tenant variant population: spec.N variants
+// over the profiled base architectures at several parameter scales, with
+// Zipf(spec.Skew) popularity. Variants sharing a shape share one profile
+// and plan, so a 100k-variant zoo costs no more planning than its shape
+// grid. Deploy with Server.DeployZoo or Cluster.DeployZoo, and generate
+// traffic with the zoo's Requests method.
+func NewModelZoo(spec ZooSpec) (*ModelZoo, error) { return registry.New(spec) }
+
+// ZooClusterRequests maps a zoo arrival sequence (from ModelZoo.Requests)
+// onto cluster arrivals addressed by shape name and within-shape ordinal.
+func ZooClusterRequests(z *ModelZoo, reqs []Request) []ClusterRequest {
+	return cluster.ZooRequests(z, reqs)
+}
 
 // NewMetricsRegistry returns an enabled metrics registry. A nil
 // *MetricsRegistry disables monitoring at zero cost (every handle becomes
@@ -317,6 +368,17 @@ type ServerOptions struct {
 	// histograms by class, queue depth, GPU busy time, cold starts, sheds,
 	// fault state) into the registry. Observation-only, like Trace.
 	Monitor *MetricsRegistry
+	// HostPolicy selects the pinned host-memory tier's policy (default
+	// HostPolicyPinned, the paper's setting — every model pinned up front,
+	// no evictions). The cache policies admit on demand with a fetch-to-pin
+	// and evict under capacity pressure; model zoos need one.
+	HostPolicy HostPolicy
+	// HostMemory overrides pinned host-memory capacity in bytes (default
+	// 244 GB, p3.8xlarge).
+	HostMemory int64
+	// Pack selects GPU placement packing (default PackSpread; PackDense
+	// bin-packs fractional zoo instances).
+	Pack PackMode
 }
 
 // Server is a simulated multi-GPU inference server.
@@ -340,6 +402,9 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		Faults:      opts.Faults,
 		AdmitFactor: opts.AdmitFactor,
 		Monitor:     opts.Monitor,
+		HostPolicy:  opts.HostPolicy,
+		HostMemory:  opts.HostMemory,
+		Pack:        opts.Pack,
 	})
 }
 
@@ -412,6 +477,14 @@ type ClusterOptions struct {
 	// traces stay byte-identical to the default serial clock; only
 	// wall-clock time changes.
 	Parallel bool
+	// HostPolicy selects each node's pinned host-memory tier policy (see
+	// ServerOptions.HostPolicy).
+	HostPolicy HostPolicy
+	// HostMemory overrides each node's pinned host-memory capacity.
+	HostMemory int64
+	// Pack selects each node's GPU placement packing (see
+	// ServerOptions.Pack).
+	Pack PackMode
 }
 
 // NewCluster builds a multi-node serving system on this platform: every
@@ -440,6 +513,9 @@ func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
 		MetricsWriter:   opts.MetricsWriter,
 		MetricsInterval: opts.MetricsInterval,
 		Parallel:        opts.Parallel,
+		HostPolicy:      opts.HostPolicy,
+		HostMemory:      opts.HostMemory,
+		Pack:            opts.Pack,
 	})
 }
 

@@ -33,7 +33,9 @@ import (
 	"deepplan/internal/cluster"
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments/runner"
+	"deepplan/internal/hostmem"
 	"deepplan/internal/monitor"
+	"deepplan/internal/registry"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -191,6 +193,15 @@ type SearchSpec struct {
 	MinRate int `json:"min_rate"`
 	MaxRate int `json:"max_rate"`
 	Step    int `json:"step"`
+	// Zoo, when positive, replaces the Model/Replicas deployment with a
+	// Zoo-variant model zoo (registry.New at the spec's Skew) deployed on
+	// every node under the ZooPolicy host cache with dense packing —
+	// capacity planning for massive multi-tenant serving. Poisson workload
+	// only.
+	Zoo int `json:"zoo,omitempty"`
+	// ZooPolicy is the host pinned-cache eviction policy for zoo probes
+	// ("lru" or "cost"). Default lru.
+	ZooPolicy string `json:"zoo_policy,omitempty"`
 	// Parallel runs each probe's cluster with per-node event queues on
 	// separate goroutines (cluster.Config.Parallel). Probe results are
 	// byte-identical either way, so the plan is unchanged; the field is
@@ -229,13 +240,33 @@ func (s SearchSpec) withDefaults() SearchSpec {
 	if s.Step <= 0 {
 		s.Step = 10
 	}
+	if s.Zoo > 0 && s.ZooPolicy == "" {
+		s.ZooPolicy = string(hostmem.PolicyLRU)
+	}
 	return s
+}
+
+// zoo derives the spec's model zoo (Zoo > 0 only). Derivation is a pure
+// function of (Zoo, Skew), so probes and cached plans agree on it.
+func (s SearchSpec) zoo() (*registry.Zoo, error) {
+	return registry.New(registry.Spec{N: s.Zoo, Skew: s.Skew})
 }
 
 // requests generates the arrival sequence offered at the probed rate. The
 // sequence is a pure function of (spec, rate): the oracle never shares
 // state between probes.
 func (s SearchSpec) requests(rate int) ([]cluster.Request, error) {
+	if s.Zoo > 0 {
+		if s.Workload != WorkloadPoisson {
+			return nil, fmt.Errorf("capacity: zoo mode supports the poisson workload only, got %q", s.Workload)
+		}
+		z, err := s.zoo()
+		if err != nil {
+			return nil, err
+		}
+		n := int(float64(rate)*s.Duration.Seconds() + 0.5)
+		return cluster.ZooRequests(z, z.Requests(s.Seed, float64(rate), n)), nil
+	}
 	var raw []workload.Request
 	switch s.Workload {
 	case WorkloadPoisson:
@@ -299,7 +330,7 @@ func evaluateMonitored(pt Point, spec SearchSpec, rate int, reg *monitor.Registr
 	if pt.Autoscale {
 		as = cluster.AutoscaleConfig{Enabled: true, Interval: sim.Second}
 	}
-	c, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Nodes:       pt.Nodes,
 		NewTopology: newTopo,
 		Policy:      pt.Policy,
@@ -310,16 +341,31 @@ func evaluateMonitored(pt Point, spec SearchSpec, rate int, reg *monitor.Registr
 		Monitor:     reg,
 		Alerts:      alerts,
 		Parallel:    spec.Parallel,
-	})
+	}
+	if spec.Zoo > 0 {
+		ccfg.HostPolicy = hostmem.Policy(spec.ZooPolicy)
+		ccfg.Pack = serving.PackDense
+	}
+	c, err := cluster.New(ccfg)
 	if err != nil {
 		return probe{}, nil, err
 	}
-	model, err := dnn.ByName(spec.Model)
-	if err != nil {
-		return probe{}, nil, err
-	}
-	if err := c.Deploy(model, spec.Replicas); err != nil {
-		return probe{}, nil, err
+	if spec.Zoo > 0 {
+		z, err := spec.zoo()
+		if err != nil {
+			return probe{}, nil, err
+		}
+		if err := c.DeployZoo(z); err != nil {
+			return probe{}, nil, err
+		}
+	} else {
+		model, err := dnn.ByName(spec.Model)
+		if err != nil {
+			return probe{}, nil, err
+		}
+		if err := c.Deploy(model, spec.Replicas); err != nil {
+			return probe{}, nil, err
+		}
 	}
 	c.Warmup()
 	reqs, err := spec.requests(rate)

@@ -40,7 +40,11 @@ type Plan struct {
 	Workload      string   `json:"workload"`
 	Model         string   `json:"model"`
 	Replicas      int      `json:"replicas_per_node"`
-	TargetRPS     int      `json:"target_rps"`
+	// Zoo/ZooPolicy echo the model-zoo deployment when the search planned
+	// for one (Zoo > 0); Model/Replicas are ignored in that mode.
+	Zoo       int    `json:"zoo,omitempty"`
+	ZooPolicy string `json:"zoo_policy,omitempty"`
+	TargetRPS int    `json:"target_rps"`
 	BudgetPerHour float64  `json:"budget_per_hour"`
 	Results       []Result `json:"results"`
 	// Recommendation is the cheapest config sustaining TargetRPS inside
@@ -62,6 +66,8 @@ func Analyze(spec SearchSpec, results []Result, targetRPS int, budgetPerHour flo
 		Workload:      spec.Workload,
 		Model:         spec.Model,
 		Replicas:      spec.Replicas,
+		Zoo:           spec.Zoo,
+		ZooPolicy:     spec.ZooPolicy,
 		TargetRPS:     targetRPS,
 		BudgetPerHour: budgetPerHour,
 		Results:       results,
@@ -171,8 +177,13 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 // by cost (frontier points starred), the recommendation, and the policy
 // gaps.
 func (p *Plan) WriteTable(w io.Writer) {
-	fmt.Fprintf(w, "SLO %.0f ms p99 (cold & warm), goodput >= %.0f%%, workload %s, %s x%d replicas/node\n\n",
-		p.SLOMs, p.GoodputTarget*100, p.Workload, p.Model, p.Replicas)
+	if p.Zoo > 0 {
+		fmt.Fprintf(w, "SLO %.0f ms p99 (cold & warm), goodput >= %.0f%%, workload %s, %d-variant zoo (%s host cache)\n\n",
+			p.SLOMs, p.GoodputTarget*100, p.Workload, p.Zoo, p.ZooPolicy)
+	} else {
+		fmt.Fprintf(w, "SLO %.0f ms p99 (cold & warm), goodput >= %.0f%%, workload %s, %s x%d replicas/node\n\n",
+			p.SLOMs, p.GoodputTarget*100, p.Workload, p.Model, p.Replicas)
+	}
 
 	rows := make([]*Result, len(p.Results))
 	for i := range p.Results {

@@ -45,8 +45,10 @@ import (
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/faults"
+	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
 	"deepplan/internal/monitor"
+	"deepplan/internal/registry"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -156,6 +158,20 @@ type Config struct {
 	// lookahead; see Run). Reports and traces are byte-identical to the
 	// serial path, which stays the default and the correctness oracle.
 	Parallel bool
+	// HostPolicy selects each node's pinned host-memory tier policy (see
+	// serving.Config.HostPolicy). Default pinned; model-zoo clusters use a
+	// cache policy (lru or cost).
+	HostPolicy hostmem.Policy
+	// HostMemory is each node's pinned-memory capacity in bytes; zero keeps
+	// the serving default (244 GB).
+	HostMemory int64
+	// HostFetchBandwidth / HostFetchOverhead parameterize the fetch-to-pin
+	// cost on every node (see serving.Config); zero keeps the defaults.
+	HostFetchBandwidth float64
+	HostFetchOverhead  sim.Duration
+	// Pack selects each node's GPU placement packing (see
+	// serving.Config.Pack). Default spread; zoos use dense.
+	Pack serving.PackMode
 }
 
 // Request is one cluster-level arrival: a model invocation identified by a
@@ -173,6 +189,17 @@ type modelState struct {
 	replicas int // deployed per node (the scale ceiling)
 	active   int // replicas currently receiving traffic
 	base     int // node-local instance index of replica 0 (same on every node)
+	// zoo marks a shape deployed via DeployZoo: each replica is a distinct
+	// tenant's variant, so the autoscaler must not consolidate them (a
+	// tenant's request can never be served by another tenant's weights —
+	// the host cache, not the active-replica count, is the elastic
+	// resource) and routing addresses replicas through insts.
+	zoo bool
+	// insts maps replica -> node-local instance index for zoo shapes,
+	// whose instances are interleaved with other shapes' in deploy order
+	// (same table on every node). Nil for Deploy'd models (contiguous from
+	// base).
+	insts []int
 	// winArrivals counts this window's arrivals for the autoscaler.
 	winArrivals int
 	// activeNS integrates active replicas over virtual time (replica ·
@@ -303,19 +330,24 @@ func New(cfg Config) (*Cluster, error) {
 			sched = cfg.Faults // faults strike node 0; the router works around it
 		}
 		srv, err := serving.New(serving.Config{
-			Topo:        topo,
-			Cost:        cfg.Cost,
-			Policy:      cfg.Policy,
-			Sim:         nodeSim,
-			SLO:         cfg.SLO,
-			WindowWidth: cfg.WindowWidth,
-			Batch:       cfg.Batch,
-			MaxBatch:    cfg.MaxBatch,
-			Faults:      sched,
-			AdmitFactor: cfg.AdmitFactor,
-			Trace:       c.rec.Node(i, topo.NumGPUs()),
-			Telemetry:   cfg.Telemetry,
-			Monitor:     c.mon.Node(i),
+			Topo:               topo,
+			Cost:               cfg.Cost,
+			Policy:             cfg.Policy,
+			Sim:                nodeSim,
+			SLO:                cfg.SLO,
+			WindowWidth:        cfg.WindowWidth,
+			Batch:              cfg.Batch,
+			MaxBatch:           cfg.MaxBatch,
+			Faults:             sched,
+			AdmitFactor:        cfg.AdmitFactor,
+			Trace:              c.rec.Node(i, topo.NumGPUs()),
+			Telemetry:          cfg.Telemetry,
+			Monitor:            c.mon.Node(i),
+			HostPolicy:         cfg.HostPolicy,
+			HostMemory:         cfg.HostMemory,
+			HostFetchBandwidth: cfg.HostFetchBandwidth,
+			HostFetchOverhead:  cfg.HostFetchOverhead,
+			Pack:               cfg.Pack,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -371,6 +403,64 @@ func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
 	c.models[model.Name] = m
 	c.order = append(c.order, model.Name)
 	return nil
+}
+
+// DeployZoo registers every variant of a model zoo on every node, in
+// popularity order. Variants sharing an architectural shape become
+// replicas of one cluster model (the shape), so affinity routing shards a
+// shape's tenants across the nodes' host caches; each replica is a
+// distinct tenant addressed by its within-shape ordinal, never remapped
+// to another tenant's weights. Requests for a zoo are built with
+// ZooRequests. Use a cache HostPolicy: under the legacy pinned policy a
+// zoo larger than host memory fails at deploy time.
+func (c *Cluster) DeployZoo(z *registry.Zoo) error {
+	for i := range z.Variants {
+		v := &z.Variants[i]
+		shape := v.Model.Name
+		m := c.models[shape]
+		if m == nil {
+			m = &modelState{
+				name: shape, zoo: true, lastChange: c.sim.Now(),
+				activeG: c.mon.Gauge("deepplan_active_replicas",
+					"Replicas receiving traffic (autoscaler output).", "model", shape),
+			}
+			c.models[shape] = m
+			c.order = append(c.order, shape)
+		} else if !m.zoo {
+			return fmt.Errorf("cluster: model %q already deployed", shape)
+		}
+		if v.Ordinal != len(m.insts) {
+			return fmt.Errorf("cluster: zoo variant %s out of ordinal order", v.Name)
+		}
+		id := -1
+		for _, n := range c.nodes {
+			got, err := n.srv.DeployVariant(v.Model, v.Popularity)
+			if err != nil {
+				return fmt.Errorf("cluster: node %d: deploying %s: %w", n.id, v.Name, err)
+			}
+			if id >= 0 && got != id {
+				return fmt.Errorf("cluster: zoo instance ids diverged across nodes at %s", v.Name)
+			}
+			id = got
+		}
+		m.insts = append(m.insts, id)
+		m.replicas++
+		m.active++
+		m.activeG.Set(float64(m.active))
+	}
+	return nil
+}
+
+// ZooRequests maps a zoo arrival sequence (workload Instance = global
+// variant index, as produced by Zoo.Requests) onto cluster requests
+// addressed by shape name and within-shape replica ordinal.
+func ZooRequests(z *registry.Zoo, reqs []workload.Request) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		v := &z.Variants[r.Instance]
+		out[i] = Request{At: r.At, Model: v.Model.Name, Key: v.Ordinal}
+	}
+	return out
 }
 
 // Warmup pre-places instances on every node, mirroring the single-node
@@ -490,7 +580,11 @@ func (c *Cluster) handle(req Request) error {
 	c.routed[n.id]++
 	c.routedC[n.id].Inc()
 	c.submitted++
-	return n.srv.Submit(workload.Request{At: req.At, Instance: m.base + replica})
+	instance := m.base + replica
+	if m.zoo {
+		instance = m.insts[replica] // tenant identity: never remap across variants
+	}
+	return n.srv.Submit(workload.Request{At: req.At, Instance: instance})
 }
 
 // scaleTick runs one autoscaler decision from the window's telemetry.
@@ -511,6 +605,13 @@ func (c *Cluster) scaleTick() {
 	for _, name := range c.order {
 		m := c.models[name]
 		m.accrue(c.sim.Now())
+		if m.zoo {
+			// Zoo replicas are distinct tenants: consolidating them would
+			// route one tenant's traffic to another's weights. The pinned
+			// host cache is the zoo's elastic resource, not replica count.
+			m.winArrivals = 0
+			continue
+		}
 		before := m.active
 		switch {
 		case m.winArrivals == 0:
@@ -711,6 +812,13 @@ type Report struct {
 	Deferred    int
 	Retried     int
 	GPUFailures int
+	// HostHits / HostMisses / HostEvictions aggregate the nodes' pinned
+	// host-cache tiers: misses are requests that paid a fetch-to-pin,
+	// evictions are entries pushed out of host memory under capacity
+	// pressure. Zero outside model-zoo (cache host policy) runs.
+	HostHits      int
+	HostMisses    int
+	HostEvictions int
 
 	ScaleUps, ScaleDowns int
 	Replicas             []ReplicaStat
@@ -757,6 +865,9 @@ func (c *Cluster) report(requests int) (*Report, error) {
 		r.Deferred += rep.Deferred
 		r.Retried += rep.Retried
 		r.GPUFailures += rep.GPUFailures
+		r.HostHits += rep.HostHits
+		r.HostMisses += rep.HostMisses
+		r.HostEvictions += rep.HostEvictions
 		r.PerNode = append(r.PerNode, NodeStat{
 			Node:       n.id,
 			Routed:     c.routed[n.id],

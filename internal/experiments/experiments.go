@@ -52,6 +52,12 @@ type Options struct {
 	// flag trades nothing but wall-clock time. Composes with Workers,
 	// which parallelizes *across* independent simulations.
 	ParallelSim bool
+	// ZooN, when positive, replaces fig-zoo's model-count sweep with a
+	// single zoo of exactly this many variants. ZooPolicy ("lru" or
+	// "cost") pins fig-zoo's host-cache policy; empty compares both.
+	// Other experiments ignore both fields.
+	ZooN      int
+	ZooPolicy string
 }
 
 // Experiment is one reproducible table/figure.
@@ -81,6 +87,7 @@ var registry = []Experiment{
 	{"fig-cluster", "Cluster serving: routing policies and autoscaling across nodes", FigCluster},
 	{"fig-capacity", "Capacity planning: cost-vs-capacity frontier over the config grid", FigCapacity},
 	{"fig-slo", "SLO monitor: burn-rate alerts under faults, per cold-start policy", FigSLO},
+	{"fig-zoo", "Model zoo: cold-start tail vs zoo size under a pinned host-cache tier", FigZoo},
 }
 
 // All returns every experiment in presentation order.

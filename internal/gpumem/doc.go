@@ -1,0 +1,22 @@
+// Package gpumem implements a first-fit GPU device-memory allocator with
+// free-list coalescing — the device half of the two-tier memory model the
+// paper's serving system (§5.3) runs on.
+//
+// The serving system uses one Allocator per GPU to decide how many model
+// instances fit before a new arrival forces eviction: the out-of-memory
+// regime the paper studies, where DeepPlan's direct-host-access plans
+// shrink the per-instance device footprint (DHA-resident layers never
+// occupy device memory, §4.1) and so pack more warm instances per GPU
+// than PipeSwitch-style full residency (§5.3.1, Figure 13). Offsets are
+// tracked explicitly rather than as a bare byte counter so fragmentation
+// behaviour and allocator invariants are real and testable.
+//
+// # Fractional-GPU packing
+//
+// At model-zoo scale (docs/ZOO.md) a single GPU's memory is shared by
+// many small models. Dense packing rounds every footprint up to
+// PageBytes (AlignUp) — the 2 MiB granularity CUDA's virtual-memory
+// allocator maps device memory at — so the simulated allocator cannot
+// pack tighter than real hardware would, and placement can bin-pack
+// fractional slices of a GPU without fabricating impossible density.
+package gpumem

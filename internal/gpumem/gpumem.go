@@ -1,11 +1,3 @@
-// Package gpumem implements a first-fit GPU device-memory allocator with
-// free-list coalescing.
-//
-// The serving system uses one allocator per GPU to decide how many model
-// instances fit before a new arrival forces eviction (the out-of-memory
-// regime the paper studies). Offsets are tracked explicitly rather than as a
-// bare byte counter so fragmentation behaviour and allocator invariants are
-// real and testable.
 package gpumem
 
 import (
@@ -13,6 +5,27 @@ import (
 	"fmt"
 	"sort"
 )
+
+// PageBytes is the 2 MiB granularity CUDA maps device memory at; dense
+// fractional-GPU packing rounds footprints up to it so simulated packing
+// density never exceeds what real hardware could achieve.
+const PageBytes int64 = 2 << 20
+
+// AlignUp rounds n up to the next multiple of align (a power of two is not
+// required; align must be positive).
+func AlignUp(n, align int64) int64 {
+	if align <= 0 {
+		panic(fmt.Sprintf("gpumem: align must be positive, got %d", align))
+	}
+	if n <= 0 {
+		return 0
+	}
+	rem := n % align
+	if rem == 0 {
+		return n
+	}
+	return n + align - rem
+}
 
 // ErrOutOfMemory is returned when no free extent can satisfy a request.
 var ErrOutOfMemory = errors.New("gpumem: out of memory")

@@ -1,11 +1,3 @@
-// Package hostmem tracks pinned host memory registrations.
-//
-// Direct-host-access requires model weights to live in page-locked (pinned)
-// host memory so the GPU can read them over PCIe (`cudaHostAlloc`). The
-// serving system pins every deployed model's weights once at deployment time
-// and keeps them pinned for the model's lifetime, which is what makes
-// eviction from GPU memory free (only the device copy is dropped). This
-// package is the accounting ledger for that host-side store.
 package hostmem
 
 import (

@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"math"
+	"testing"
+
+	"deepplan/internal/dnn"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Spec{}); err == nil {
+		t.Error("zero-size zoo accepted")
+	}
+	if _, err := New(Spec{N: 4, Bases: []string{"no-such-model"}}); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if _, err := New(Spec{N: 4, Scales: []float64{-1}}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestZooSharesShapes(t *testing.T) {
+	z, err := New(Spec{N: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Variants) != 1000 {
+		t.Fatalf("variants = %d", len(z.Variants))
+	}
+	// 4 bases × 4 scales: at most 16 distinct shapes however large the zoo.
+	if len(z.Shapes) != 16 {
+		t.Fatalf("shapes = %d, want 16", len(z.Shapes))
+	}
+	for i := range z.Variants {
+		v := &z.Variants[i]
+		if v.Model != z.Shapes[v.Shape] {
+			t.Fatalf("variant %d does not alias its shape", i)
+		}
+	}
+}
+
+func TestPopularityMatchesZipfOrder(t *testing.T) {
+	z, err := New(Spec{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := range z.Variants {
+		if i > 0 && z.Variants[i].Popularity > z.Variants[i-1].Popularity {
+			t.Fatalf("popularity not decreasing at %d", i)
+		}
+		sum += z.Variants[i].Popularity
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("popularities sum to %g", sum)
+	}
+}
+
+func TestScalingMovesParamBytes(t *testing.T) {
+	base, err := dnn.ByName("bert-base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := New(Spec{N: 8, Bases: []string{"bert-base"}, Scales: []float64{0.5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, double := z.Shapes[0], z.Shapes[1]
+	if len(half.Layers) != len(base.Layers) {
+		t.Fatalf("layer count changed: %d vs %d", len(half.Layers), len(base.Layers))
+	}
+	ratio := float64(half.TotalParamBytes()) / float64(base.TotalParamBytes())
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("0.5-scale ratio = %g", ratio)
+	}
+	ratio = float64(double.TotalParamBytes()) / float64(base.TotalParamBytes())
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("2x-scale ratio = %g", ratio)
+	}
+}
+
+func TestOrdinalsAddressShapes(t *testing.T) {
+	z, err := New(Spec{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShape := map[int]int{}
+	for i := range z.Variants {
+		v := &z.Variants[i]
+		if v.Ordinal != perShape[v.Shape] {
+			t.Fatalf("variant %d ordinal %d, want %d", i, v.Ordinal, perShape[v.Shape])
+		}
+		perShape[v.Shape]++
+	}
+}
+
+func TestDerivationDeterministic(t *testing.T) {
+	a, err := New(Spec{N: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(Spec{N: 500})
+	if a.TotalBytes != b.TotalBytes {
+		t.Fatalf("total bytes differ: %d vs %d", a.TotalBytes, b.TotalBytes)
+	}
+	for i := range a.Variants {
+		if a.Variants[i].Name != b.Variants[i].Name ||
+			a.Variants[i].Popularity != b.Variants[i].Popularity {
+			t.Fatalf("variant %d differs across derivations", i)
+		}
+	}
+}
+
+func TestRequestsTargetVariants(t *testing.T) {
+	z, err := New(Spec{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := z.Requests(42, 100, 400)
+	if len(reqs) != 400 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	counts := make([]int, 50)
+	for _, r := range reqs {
+		if r.Instance < 0 || r.Instance >= 50 {
+			t.Fatalf("request for variant %d out of range", r.Instance)
+		}
+		counts[r.Instance]++
+	}
+	// Zipf skew: the most popular variant must dominate the tail.
+	if counts[0] <= counts[49] {
+		t.Fatalf("no popularity head: head=%d tail=%d", counts[0], counts[49])
+	}
+}

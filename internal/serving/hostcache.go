@@ -1,0 +1,173 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+
+	"deepplan/internal/dnn"
+	"deepplan/internal/hostmem"
+	"deepplan/internal/registry"
+	"deepplan/internal/trace"
+)
+
+// PackMode selects how cold placement packs instances onto GPUs.
+type PackMode string
+
+const (
+	// PackSpread is the paper's placement: shortest queue first, then most
+	// free memory — load balance over density.
+	PackSpread PackMode = "spread"
+	// PackDense bin-packs fractional instances (footprint ≤ ¼ GPU, page
+	// aligned) onto the fullest GPU that fits them without eviction, so
+	// many small zoo models share one GPU's memory.
+	PackDense PackMode = "dense"
+)
+
+// ParsePack maps a CLI spelling ("spread", "dense"; "" means spread) to a
+// PackMode.
+func ParsePack(s string) (PackMode, error) {
+	switch PackMode(s) {
+	case "", PackSpread:
+		return PackSpread, nil
+	case PackDense:
+		return PackDense, nil
+	}
+	return "", fmt.Errorf("serving: unknown pack mode %q (want spread or dense)", s)
+}
+
+// DeployVariant registers a single instance of a model with an explicit
+// popularity weight — the model-zoo deploy path. Variants sharing an
+// architectural shape share one profile/plan; each variant pins (or, under
+// the cache policies, tries to pin) its own weights. It returns the new
+// instance's ID, which is the same on every node that deploys the same
+// sequence.
+func (srv *Server) DeployVariant(model *dnn.Model, popularity float64) (int, error) {
+	dep, err := srv.deployment(model)
+	if err != nil {
+		return 0, err
+	}
+	return srv.addInstance(dep, popularity)
+}
+
+// DeployZoo registers every variant of a model zoo, one instance per
+// variant, in popularity order (variant index = instance index). Use a
+// cache host policy: a zoo whose aggregate weights exceed host memory is a
+// deploy-time error under the legacy pinned policy.
+func (srv *Server) DeployZoo(z *registry.Zoo) error {
+	for i := range z.Variants {
+		v := &z.Variants[i]
+		if _, err := srv.DeployVariant(v.Model, v.Popularity); err != nil {
+			return fmt.Errorf("serving: deploying %s: %w", v.Name, err)
+		}
+	}
+	return nil
+}
+
+// HostStats returns the pinned-cache tier's lookup hits and misses and its
+// eviction count, for cluster-level merging.
+func (srv *Server) HostStats() (hits, misses, evictions int) {
+	return srv.host.Hits(), srv.host.Misses(), srv.host.Evictions()
+}
+
+// HostPinned returns the bytes currently pinned in host memory.
+func (srv *Server) HostPinned() int64 { return srv.host.Pinned() }
+
+// relieveHostPressure evicts the least-recently-used idle warm instance
+// across all GPUs so its host entry unlocks and becomes an eviction
+// candidate for the cache tier. It reports whether any instance was
+// evicted.
+func (srv *Server) relieveHostPressure() bool {
+	var victim *Instance
+	for _, gs := range srv.gpus {
+		v := srv.lruIdle(gs)
+		if v == nil {
+			continue
+		}
+		if victim == nil || v.lastUsed < victim.lastUsed ||
+			(v.lastUsed == victim.lastUsed && v.ID < victim.ID) {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	srv.evict(victim)
+	return true
+}
+
+// startFetch begins the fetch-to-pin for an admitted cold request whose
+// weights are not host-resident: the entry is admitted (evicting per the
+// host policy), locked for the duration, and after FetchEst the normal
+// cold path continues. Arrivals during the fetch coalesced onto fetchWait
+// and re-dispatch when it lands.
+func (srv *Server) startFetch(inst *Instance, p pending, fresh bool) {
+	dep := inst.dep
+	now := srv.sim.Now()
+	var e *hostmem.Entry
+	for {
+		var victims []hostmem.Evicted
+		var err error
+		e, victims, err = srv.host.Admit(inst.pinName, dep.Model.TotalParamBytes(),
+			dep.LoadEst, inst.popularity, now)
+		for _, v := range victims {
+			if srv.rec != nil {
+				srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+					"host-evict "+v.Name, now,
+					map[string]any{"bytes": v.Bytes, "for": inst.pinName})
+			}
+			if srv.ins != nil {
+				srv.ins.hostEvictions.Inc()
+			}
+		}
+		if err == nil {
+			break
+		}
+		if errors.Is(err, hostmem.ErrCacheBusy) {
+			// Every resident entry is locked (warm or mid-fetch). Unlock one
+			// by evicting an idle warm instance from its GPU — host pressure
+			// must propagate to GPU residency, or a cache full of warm-locked
+			// entries would park every fetch forever.
+			if srv.relieveHostPressure() {
+				continue
+			}
+			// Nothing idle to evict; park until a completion unlocks an entry.
+			srv.park(inst, p, fresh)
+			return
+		}
+		// The model cannot fit in host memory at all.
+		srv.shedRequest(inst, p, "host-capacity")
+		return
+	}
+	e.SetLocked(true)
+	inst.fetching = true
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"host-fetch "+dep.Model.Name, now, map[string]any{
+				"instance": inst.ID,
+				"bytes":    dep.Model.TotalParamBytes(),
+				"fetch_us": float64(dep.FetchEst) / 1e3,
+			})
+	}
+	if srv.ins != nil {
+		srv.ins.hostFetches.Inc()
+		srv.ins.hostPinned.Set(float64(srv.host.Pinned()))
+	}
+	srv.sim.After(dep.FetchEst, func() {
+		inst.fetching = false
+		waiters := inst.fetchWait
+		inst.fetchWait = nil
+		if srv.place(inst) {
+			srv.startCold(inst, p)
+		} else {
+			e.SetLocked(false) // evictable again while parked
+			srv.park(inst, p, fresh)
+		}
+		for _, w := range waiters {
+			if inst.state == Warm {
+				srv.startWarm(inst, w)
+				continue
+			}
+			srv.startColdPath(inst, w, true)
+		}
+	})
+}

@@ -26,6 +26,10 @@ type instruments struct {
 	deferred    *monitor.Counter
 	retried     *monitor.Counter
 
+	hostEvictions *monitor.Counter
+	hostFetches   *monitor.Counter
+	hostPinned    *monitor.Gauge
+
 	gpuBusy     []*monitor.Counter
 	gpuBusyFrac []*monitor.Gauge
 	gpuUp       []*monitor.Gauge
@@ -64,6 +68,12 @@ func newInstruments(reg *monitor.Registry, policy Policy, numGPUs int) *instrume
 		relocations: reg.Counter("deepplan_relocations", "Warm instances relocated off a congested GPU."),
 		deferred:    reg.Counter("deepplan_deferred", "Requests parked on the waitlist for GPU memory."),
 		retried:     reg.Counter("deepplan_retried", "Requests re-dispatched after a GPU failure."),
+		hostEvictions: reg.Counter("deepplan_host_evictions",
+			"Entries evicted from the pinned host-memory cache tier."),
+		hostFetches: reg.Counter("deepplan_host_fetches",
+			"Fetch-to-pin operations for weights that were not host-resident."),
+		hostPinned: reg.Gauge("deepplan_host_pinned_bytes",
+			"Bytes pinned in the host-memory tier, sampled at each fetch."),
 	}
 	for g := 0; g < numGPUs; g++ {
 		id := strconv.Itoa(g)

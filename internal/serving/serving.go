@@ -99,6 +99,28 @@ type Config struct {
 	// is observation-only: a monitored run is byte-identical to an
 	// unmonitored one, and a nil registry costs zero allocations.
 	Monitor *monitor.Registry
+	// HostPolicy selects the pinned host-memory tier's admission/eviction
+	// policy (hostmem.ParsePolicy spellings). The default, PolicyPinned,
+	// is the paper's setup: every deployed model's weights are pinned at
+	// deploy time and stay pinned, and overflowing host memory is a
+	// deploy-time error. The cache policies (lru, cost) turn host memory
+	// into a capacity-pressured cache for model-zoo serving: models admit
+	// lazily, evict under pressure, and a request for an unpinned model
+	// pays a fetch-to-pin delay before its cold-start plan begins.
+	HostPolicy hostmem.Policy
+	// HostFetchBandwidth is the sustained bytes/sec at which unpinned
+	// weights are fetched (from local NVMe or a model store) into freshly
+	// pinned host memory. Default 10 GB/s. Only paid under the cache
+	// policies.
+	HostFetchBandwidth float64
+	// HostFetchOverhead is the fixed setup cost of a fetch-to-pin
+	// (allocation, page-locking, registration). Default 2 ms.
+	HostFetchOverhead sim.Duration
+	// Pack selects GPU placement packing. PackSpread (default) is the
+	// paper's queue-balancing placement; PackDense bin-packs fractional
+	// instances (footprint ≤ ¼ GPU) onto the fullest GPU that still fits
+	// them, at page granularity, so many small models share one GPU.
+	Pack PackMode
 }
 
 // InstanceState is an instance's residency state.
@@ -124,6 +146,15 @@ type Instance struct {
 	lastUsed sim.Time
 	// backlog holds requests coalescing for the next dynamic batch.
 	backlog []pending
+	// pinName keys the instance's weights in the host pinned-cache tier.
+	pinName string
+	// popularity is the instance's request probability (zoo variants);
+	// the cost-aware host eviction policy ranks entries by it.
+	popularity float64
+	// fetching is true while a fetch-to-pin is in flight; arrivals for the
+	// instance coalesce onto fetchWait instead of starting another fetch.
+	fetching  bool
+	fetchWait []pending
 }
 
 // pending is a request threaded through dispatch with its retry count: a
@@ -167,6 +198,14 @@ type Deployment struct {
 	// requests that cannot meet the latency budget even on an idle server.
 	LoadEst sim.Duration
 	ExecEst sim.Duration
+	// FetchEst is the fetch-to-pin cost a request pays when the model's
+	// weights are not host-resident (cache policies only): fixed overhead
+	// plus weight bytes over the fetch bandwidth.
+	FetchEst sim.Duration
+	// gpuBytes is the device allocation an instance actually makes:
+	// Footprint, page-aligned under PackDense so simulated packing density
+	// never exceeds what CUDA's 2 MiB mapping granularity allows.
+	gpuBytes int64
 	// mon holds the deployment's pre-resolved monitor handles; nil when
 	// monitoring is off.
 	mon *depInstruments
@@ -199,7 +238,7 @@ type Server struct {
 	net  *simnet.Network
 	eng  *engine.Engine
 	pl   *planner.Planner
-	host *hostmem.Store
+	host *hostmem.Cache
 
 	gpus        []*gpuState
 	deployments map[string]*Deployment
@@ -260,6 +299,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AdmitFactor < 0 {
 		return nil, fmt.Errorf("serving: AdmitFactor must be non-negative, got %g", cfg.AdmitFactor)
 	}
+	hostPolicy, err := hostmem.ParsePolicy(string(cfg.HostPolicy))
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	cfg.HostPolicy = hostPolicy
+	if cfg.HostFetchBandwidth <= 0 {
+		cfg.HostFetchBandwidth = 10e9
+	}
+	if cfg.HostFetchOverhead <= 0 {
+		cfg.HostFetchOverhead = 2 * sim.Millisecond
+	}
+	switch cfg.Pack {
+	case "":
+		cfg.Pack = PackSpread
+	case PackSpread, PackDense:
+	default:
+		return nil, fmt.Errorf("serving: unknown pack mode %q", cfg.Pack)
+	}
+	host, err := hostmem.NewCache(cfg.HostMemory, hostPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
 	s := cfg.Sim
 	if s == nil {
 		s = sim.New()
@@ -274,7 +335,7 @@ func New(cfg Config) (*Server, error) {
 			Failable: !cfg.Faults.Empty(), Monitor: cfg.Monitor,
 		}),
 		pl:          planner.New(cfg.Topo),
-		host:        hostmem.NewStore(cfg.HostMemory),
+		host:        host,
 		deployments: map[string]*Deployment{},
 		series:      metrics.NewSeries(cfg.WindowWidth, cfg.SLO),
 		rec:         cfg.Trace,
@@ -381,48 +442,86 @@ func (srv *Server) Deploy(model *dnn.Model, count int) error {
 	if count <= 0 {
 		return fmt.Errorf("serving: instance count must be positive")
 	}
-	dep, ok := srv.deployments[model.Name]
-	if !ok {
-		prof, err := profiler.Run(model, srv.cfg.Cost, srv.cfg.Topo, profiler.Options{Batch: srv.cfg.Batch})
-		if err != nil {
-			return err
-		}
-		var p, fb *plan.Plan
-		switch srv.cfg.Policy {
-		case PolicyBaseline:
-			p = srv.pl.PlanBaseline(prof)
-		case PolicyPipeSwitch:
-			p = srv.pl.PlanPipeSwitch(prof)
-		case PolicyDHA:
-			p = srv.pl.PlanDHA(prof)
-		case PolicyPTDHA:
-			p = srv.pl.PlanPTDHA(prof, srv.pl.MaxPartitions())
-			if p.NumParts > 1 {
-				fb = p.SingleGPU()
-			}
-		}
-		dep = &Deployment{
-			Model:     model,
-			Profile:   prof,
-			Plan:      p,
-			Fallback:  fb,
-			Footprint: p.ResidentBytes(model) + srv.cfg.Cost.Workspace(model, srv.cfg.Batch),
-			LoadEst: srv.cfg.Cost.ModelLoadTime(model, srv.cfg.Topo.LaneBandwidth(),
-				sim.Duration(srv.cfg.Topo.PerCopyOverheadNanos)),
-			ExecEst: srv.cfg.Cost.ModelExecTime(model, srv.cfg.Batch),
-		}
-		dep.mon = srv.ins.deployInstruments(srv.cfg.Policy, model.Name)
-		srv.deployments[model.Name] = dep
+	dep, err := srv.deployment(model)
+	if err != nil {
+		return err
 	}
 	for i := 0; i < count; i++ {
-		id := len(srv.instances)
-		if _, err := srv.host.Pin(fmt.Sprintf("%s/instance-%d", model.Name, id),
-			model.TotalParamBytes()); err != nil {
-			return fmt.Errorf("serving: %w", err)
+		if _, err := srv.addInstance(dep, 0); err != nil {
+			return err
 		}
-		srv.instances = append(srv.instances, &Instance{ID: id, dep: dep, state: Cold})
 	}
 	return nil
+}
+
+// deployment returns the model's Deployment, profiling and planning it on
+// first use. Zoo variants sharing an architectural shape share one
+// Deployment, so registering 100k variants profiles O(shapes) models.
+func (srv *Server) deployment(model *dnn.Model) (*Deployment, error) {
+	if dep, ok := srv.deployments[model.Name]; ok {
+		return dep, nil
+	}
+	prof, err := profiler.Run(model, srv.cfg.Cost, srv.cfg.Topo, profiler.Options{Batch: srv.cfg.Batch})
+	if err != nil {
+		return nil, err
+	}
+	var p, fb *plan.Plan
+	switch srv.cfg.Policy {
+	case PolicyBaseline:
+		p = srv.pl.PlanBaseline(prof)
+	case PolicyPipeSwitch:
+		p = srv.pl.PlanPipeSwitch(prof)
+	case PolicyDHA:
+		p = srv.pl.PlanDHA(prof)
+	case PolicyPTDHA:
+		p = srv.pl.PlanPTDHA(prof, srv.pl.MaxPartitions())
+		if p.NumParts > 1 {
+			fb = p.SingleGPU()
+		}
+	}
+	dep := &Deployment{
+		Model:     model,
+		Profile:   prof,
+		Plan:      p,
+		Fallback:  fb,
+		Footprint: p.ResidentBytes(model) + srv.cfg.Cost.Workspace(model, srv.cfg.Batch),
+		LoadEst: srv.cfg.Cost.ModelLoadTime(model, srv.cfg.Topo.LaneBandwidth(),
+			sim.Duration(srv.cfg.Topo.PerCopyOverheadNanos)),
+		ExecEst: srv.cfg.Cost.ModelExecTime(model, srv.cfg.Batch),
+	}
+	dep.FetchEst = srv.cfg.HostFetchOverhead +
+		sim.Duration(float64(model.TotalParamBytes())/srv.cfg.HostFetchBandwidth*1e9)
+	dep.gpuBytes = dep.Footprint
+	if srv.cfg.Pack == PackDense {
+		dep.gpuBytes = gpumem.AlignUp(dep.Footprint, gpumem.PageBytes)
+	}
+	dep.mon = srv.ins.deployInstruments(srv.cfg.Policy, model.Name)
+	srv.deployments[model.Name] = dep
+	return dep, nil
+}
+
+// addInstance registers one instance of a prepared deployment. Under the
+// legacy pinned host policy the instance's weights are pinned immediately
+// and overflow is an error (the paper's deploy-everything setup); under
+// the cache policies pinning is best-effort without eviction, so a zoo
+// deployed in popularity order starts with its head resident and its tail
+// cold, and deploy order never forces evictions.
+func (srv *Server) addInstance(dep *Deployment, popularity float64) (int, error) {
+	id := len(srv.instances)
+	name := fmt.Sprintf("%s/instance-%d", dep.Model.Name, id)
+	bytes := dep.Model.TotalParamBytes()
+	now := srv.sim.Now()
+	if srv.cfg.HostPolicy == hostmem.PolicyPinned {
+		if _, _, err := srv.host.Admit(name, bytes, dep.LoadEst, popularity, now); err != nil {
+			return 0, fmt.Errorf("serving: %w", err)
+		}
+	} else {
+		srv.host.TryAdmit(name, bytes, dep.LoadEst, popularity, now)
+	}
+	srv.instances = append(srv.instances, &Instance{
+		ID: id, dep: dep, state: Cold, pinName: name, popularity: popularity,
+	})
+	return id, nil
 }
 
 // NumInstances returns the number of deployed instances.
@@ -438,14 +537,19 @@ func (srv *Server) Warmup() int {
 	warm := 0
 	g := 0
 	for _, inst := range srv.instances {
+		e, resident := srv.host.Peek(inst.pinName)
+		if !resident {
+			continue // zoo tail: not host-resident, warming it would skip the fetch path
+		}
 		placed := false
 		for try := 0; try < len(srv.gpus); try++ {
 			gs := srv.gpus[(g+try)%len(srv.gpus)]
-			if blk, err := gs.mem.Alloc(inst.dep.Footprint, inst.dep.Model.Name); err == nil {
+			if blk, err := gs.mem.Alloc(inst.dep.gpuBytes, inst.dep.Model.Name); err == nil {
 				inst.state = Warm
 				inst.gpu = gs.id
 				inst.block = blk
 				gs.residents[inst] = true
+				e.SetLocked(true)
 				placed = true
 				g = (g + try + 1) % len(srv.gpus)
 				break
@@ -475,8 +579,8 @@ func (srv *Server) WarmCapacity() int {
 	for _, inst := range srv.instances {
 		placed := false
 		for i := range free {
-			if free[i] >= inst.dep.Footprint {
-				free[i] -= inst.dep.Footprint
+			if free[i] >= inst.dep.gpuBytes {
+				free[i] -= inst.dep.gpuBytes
 				placed = true
 				break
 			}
@@ -630,9 +734,36 @@ func (srv *Server) dispatch(p pending) {
 	if !srv.admit(inst, p) {
 		return // shed by the SLO admission controller
 	}
-	if !srv.place(inst) {
-		// No memory can be freed right now (every resident instance is
-		// busy); park the request until a run completes.
+	if inst.fetching {
+		// A fetch-to-pin for this instance is already in flight; coalesce
+		// behind it rather than starting another.
+		inst.fetchWait = append(inst.fetchWait, p)
+		return
+	}
+	srv.startColdPath(inst, p, true)
+}
+
+// startColdPath serves an admitted cold request: host-resident weights go
+// straight to placement, unpinned weights first pay the fetch-to-pin cost.
+// fresh marks a first deferral (drainWaitlist retries re-park silently).
+func (srv *Server) startColdPath(inst *Instance, p pending, fresh bool) {
+	if e, ok := srv.host.Lookup(inst.pinName); ok {
+		srv.host.Touch(e, srv.sim.Now())
+		if !srv.place(inst) {
+			// No memory can be freed right now (every resident instance is
+			// busy); park the request until a run completes.
+			srv.park(inst, p, fresh)
+			return
+		}
+		srv.startCold(inst, p)
+		return
+	}
+	srv.startFetch(inst, p, fresh)
+}
+
+// park puts a request on the waitlist; count marks a first-time deferral.
+func (srv *Server) park(inst *Instance, p pending, count bool) {
+	if count {
 		srv.deferred++
 		if srv.rec != nil {
 			srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
@@ -645,10 +776,8 @@ func (srv *Server) dispatch(p pending) {
 		if srv.ins != nil {
 			srv.ins.deferred.Inc()
 		}
-		srv.waitlist = append(srv.waitlist, waiting{inst, p})
-		return
 	}
-	srv.startCold(inst, p)
+	srv.waitlist = append(srv.waitlist, waiting{inst, p})
 }
 
 // admit applies SLO-aware admission control to a cold-start attempt: the
@@ -666,6 +795,9 @@ func (srv *Server) admit(inst *Instance, p pending) bool {
 	budget := sim.Duration(srv.cfg.AdmitFactor * float64(srv.cfg.SLO))
 	projected := inst.dep.LoadEst + inst.dep.ExecEst +
 		sim.Duration(srv.minQueuedAlive())*inst.dep.ExecEst
+	if _, resident := srv.host.Peek(inst.pinName); !resident {
+		projected += inst.dep.FetchEst // unpinned weights fetch before loading
+	}
 	if projected <= budget {
 		return true
 	}
@@ -786,16 +918,35 @@ func (srv *Server) shouldRelocate(inst *Instance) bool {
 // place finds a GPU for a cold instance, evicting LRU idle instances as
 // needed. Reports success.
 func (srv *Server) place(inst *Instance) bool {
-	need := inst.dep.Footprint
-	// Prefer the GPU with the shortest queue, then the most free memory.
+	need := inst.dep.gpuBytes
 	order := make([]*gpuState, len(srv.gpus))
 	copy(order, srv.gpus)
-	sort.SliceStable(order, func(i, j int) bool {
-		if order[i].queued != order[j].queued {
+	if srv.cfg.Pack == PackDense && srv.fractional(need) {
+		// Fractional packing: a small instance goes to the fullest live GPU
+		// that still fits it without eviction (best-fit decreasing density),
+		// keeping whole GPUs free for large instances and leaving the other
+		// GPUs' warm sets undisturbed. Ties break toward the shorter queue,
+		// then the lower GPU id (stable sort).
+		sort.SliceStable(order, func(i, j int) bool {
+			fi := !order[i].down && order[i].mem.Fits(need)
+			fj := !order[j].down && order[j].mem.Fits(need)
+			if fi != fj {
+				return fi
+			}
+			if fi && order[i].mem.Available() != order[j].mem.Available() {
+				return order[i].mem.Available() < order[j].mem.Available()
+			}
 			return order[i].queued < order[j].queued
-		}
-		return order[i].mem.Available() > order[j].mem.Available()
-	})
+		})
+	} else {
+		// Prefer the GPU with the shortest queue, then the most free memory.
+		sort.SliceStable(order, func(i, j int) bool {
+			if order[i].queued != order[j].queued {
+				return order[i].queued < order[j].queued
+			}
+			return order[i].mem.Available() > order[j].mem.Available()
+		})
+	}
 	for _, gs := range order {
 		if gs.down {
 			continue
@@ -810,11 +961,21 @@ func (srv *Server) place(inst *Instance) bool {
 			inst.gpu = gs.id
 			inst.block = blk
 			gs.residents[inst] = true
+			if e, ok := srv.host.Peek(inst.pinName); ok {
+				e.SetLocked(true) // warm weights must stay host-resident (DHA reads them)
+			}
 			srv.memCounter(gs)
 			return true
 		}
 	}
 	return false
+}
+
+// fractional reports whether a footprint is small enough (≤ ¼ of a GPU)
+// for dense bin-packing; larger instances keep the queue-balancing
+// placement.
+func (srv *Server) fractional(need int64) bool {
+	return need*4 <= srv.gpus[0].mem.Capacity()
 }
 
 // makeRoom evicts LRU idle residents of gs until need bytes fit.
@@ -845,8 +1006,9 @@ func (srv *Server) lruIdle(gs *gpuState) *Instance {
 	return victim
 }
 
-// evict drops an idle instance's GPU residency. Host weights stay pinned, so
-// eviction is free (metadata only) — the point of keeping everything pinned.
+// evict drops an idle instance's GPU residency. Host weights stay pinned
+// (the entry merely unlocks, making it an eviction candidate for the host
+// cache tier), so GPU eviction is free — metadata only.
 func (srv *Server) evict(inst *Instance) {
 	gs := srv.gpus[inst.gpu]
 	if err := gs.mem.Free(inst.block); err != nil {
@@ -855,6 +1017,9 @@ func (srv *Server) evict(inst *Instance) {
 	delete(gs.residents, inst)
 	inst.state = Cold
 	inst.block = nil
+	if e, ok := srv.host.Peek(inst.pinName); ok {
+		e.SetLocked(false)
+	}
 	srv.evictions++
 	if srv.rec != nil {
 		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "serving",
@@ -1119,11 +1284,13 @@ func (srv *Server) drainWaitlist() {
 			srv.startWarm(w.inst, w.p)
 			continue
 		}
-		if srv.place(w.inst) {
-			srv.startCold(w.inst, w.p)
-		} else {
-			srv.waitlist = append(srv.waitlist, w)
+		if w.inst.fetching {
+			w.inst.fetchWait = append(w.inst.fetchWait, w.p)
+			continue
 		}
+		// Re-enter the cold path (not bare placement): the instance may have
+		// lost host residency while parked and must re-fetch before loading.
+		srv.startColdPath(w.inst, w.p, false)
 	}
 }
 
@@ -1133,7 +1300,10 @@ func (srv *Server) drainWaitlist() {
 func (srv *Server) CheckInvariants() error {
 	var pinned int64
 	for _, inst := range srv.instances {
-		pinned += inst.dep.Model.TotalParamBytes()
+		e, resident := srv.host.Peek(inst.pinName)
+		if resident {
+			pinned += inst.dep.Model.TotalParamBytes()
+		}
 		switch inst.state {
 		case Warm:
 			if inst.block == nil {
@@ -1142,9 +1312,15 @@ func (srv *Server) CheckInvariants() error {
 			if !srv.gpus[inst.gpu].residents[inst] {
 				return fmt.Errorf("serving: warm instance %d not in GPU %d residents", inst.ID, inst.gpu)
 			}
-			if inst.block.Size() != inst.dep.Footprint {
+			if inst.block.Size() != inst.dep.gpuBytes {
 				return fmt.Errorf("serving: instance %d block %d != footprint %d",
-					inst.ID, inst.block.Size(), inst.dep.Footprint)
+					inst.ID, inst.block.Size(), inst.dep.gpuBytes)
+			}
+			if !resident {
+				return fmt.Errorf("serving: warm instance %d has no host-resident weights", inst.ID)
+			}
+			if !e.Locked() {
+				return fmt.Errorf("serving: warm instance %d host entry is evictable", inst.ID)
 			}
 		case Cold:
 			if inst.block != nil {
@@ -1153,11 +1329,20 @@ func (srv *Server) CheckInvariants() error {
 			if inst.loading {
 				return fmt.Errorf("serving: cold instance %d marked loading", inst.ID)
 			}
+			if inst.fetching && !resident {
+				return fmt.Errorf("serving: instance %d fetching without a host entry", inst.ID)
+			}
+			if resident && e.Locked() && !inst.fetching {
+				return fmt.Errorf("serving: cold idle instance %d holds a host lock", inst.ID)
+			}
 		}
 	}
 	if pinned != srv.host.Pinned() {
-		return fmt.Errorf("serving: host store pinned %d != instance total %d",
+		return fmt.Errorf("serving: host store pinned %d != resident instance total %d",
 			srv.host.Pinned(), pinned)
+	}
+	if err := srv.host.CheckInvariants(); err != nil {
+		return err
 	}
 	for _, gs := range srv.gpus {
 		var used int64
@@ -1166,7 +1351,7 @@ func (srv *Server) CheckInvariants() error {
 			if inst.gpu != gs.id || inst.state != Warm {
 				return fmt.Errorf("serving: residents map of GPU %d holds stray instance %d", gs.id, inst.ID)
 			}
-			used += inst.dep.Footprint
+			used += inst.dep.gpuBytes
 		}
 		if used != gs.mem.Used() {
 			return fmt.Errorf("serving: GPU %d allocator used %d != resident sum %d",
@@ -1191,6 +1376,10 @@ func (srv *Server) CheckInvariants() error {
 			if len(inst.backlog) != 0 {
 				return fmt.Errorf("serving: instance %d left %d requests in its batch backlog",
 					inst.ID, len(inst.backlog))
+			}
+			if inst.fetching || len(inst.fetchWait) != 0 {
+				return fmt.Errorf("serving: instance %d left a fetch in flight (%d coalesced)",
+					inst.ID, len(inst.fetchWait))
 			}
 		}
 		if len(srv.waitlist) != 0 {
@@ -1228,6 +1417,17 @@ type Report struct {
 	BatchedRequests int
 	Evictions       int
 	Deferred        int
+	// HostHits / HostMisses count pinned-cache lookups on the cold path: a
+	// miss means the request paid a fetch-to-pin before its cold-start plan
+	// could begin. HostEvictions counts entries the cache policy pushed out
+	// of host memory under capacity pressure. Misses and evictions are zero
+	// under the legacy pinned host policy (every lookup hits).
+	HostHits      int
+	HostMisses    int
+	HostEvictions int
+	// HostPinned is the bytes pinned in host memory at the end of the run,
+	// against Config.HostMemory.
+	HostPinned int64
 	// Shed counts requests dropped entirely: rejected by the SLO admission
 	// controller, or lost after their single post-failure retry also died.
 	Shed int
@@ -1266,6 +1466,10 @@ func (srv *Server) report(n int) *Report {
 		BatchedRequests: srv.batchedRequests,
 		Evictions:       srv.evictions,
 		Deferred:        srv.deferred,
+		HostHits:        srv.host.Hits(),
+		HostMisses:      srv.host.Misses(),
+		HostEvictions:   srv.host.Evictions(),
+		HostPinned:      srv.host.Pinned(),
 		Shed:            srv.shed,
 		Retried:         srv.retried,
 		Degraded:        srv.degraded,

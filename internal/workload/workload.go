@@ -89,6 +89,33 @@ func PoissonZipf(seed int64, ratePerSec float64, n, numInstances int, skew float
 	return reqs
 }
 
+// ZipfWeights returns the normalized popularity weights PoissonZipf samples
+// instances with: weight i ∝ 1/(i+1)^skew, summing to 1. skew <= 0
+// degenerates to uniform, mirroring PoissonZipf's fallback. The model-zoo
+// registry uses these as per-variant request probabilities, so a zoo's
+// popularity metadata and its generated traffic agree by construction.
+func ZipfWeights(n int, skew float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if skew <= 0 {
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return w
+	}
+	total := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -skew)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
 // FunctionClass is a MAF-like arrival behaviour.
 type FunctionClass int
 

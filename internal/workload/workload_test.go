@@ -332,3 +332,54 @@ func TestRatePerMinuteEmpty(t *testing.T) {
 		t.Fatal("empty trace produced rates")
 	}
 }
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	w := ZipfWeights(100, 1.2)
+	if len(w) != 100 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for i, wi := range w {
+		if wi <= 0 {
+			t.Fatalf("weight %d not positive: %g", i, wi)
+		}
+		if i > 0 && wi >= w[i-1] {
+			t.Fatalf("weights not strictly decreasing at %d", i)
+		}
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+}
+
+func TestZipfWeightsUniformFallback(t *testing.T) {
+	for _, skew := range []float64{0, -1} {
+		w := ZipfWeights(4, skew)
+		for i, wi := range w {
+			if math.Abs(wi-0.25) > 1e-12 {
+				t.Fatalf("skew %g: weight %d = %g, want 0.25", skew, i, wi)
+			}
+		}
+	}
+	if ZipfWeights(0, 1) != nil {
+		t.Fatal("non-nil weights for empty population")
+	}
+}
+
+// ZipfWeights must agree with PoissonZipf's sampler: the empirical arrival
+// share of each instance converges on its weight.
+func TestZipfWeightsMatchSampler(t *testing.T) {
+	const n, reqs = 10, 200000
+	w := ZipfWeights(n, 1.1)
+	counts := make([]float64, n)
+	for _, r := range PoissonZipf(3, 1000, reqs, n, 1.1) {
+		counts[r.Instance]++
+	}
+	for i := range counts {
+		got := counts[i] / reqs
+		if math.Abs(got-w[i]) > 0.01 {
+			t.Fatalf("instance %d: empirical %g vs weight %g", i, got, w[i])
+		}
+	}
+}

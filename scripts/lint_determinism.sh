@@ -17,7 +17,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PKGS="internal/sim internal/simnet internal/engine internal/serving internal/cluster internal/trace internal/metrics internal/topology internal/faults internal/capacity internal/monitor cmd/deepplan-capacity"
+PKGS="internal/sim internal/simnet internal/engine internal/serving internal/cluster internal/trace internal/metrics internal/topology internal/faults internal/capacity internal/monitor internal/hostmem internal/gpumem internal/registry cmd/deepplan-capacity"
 SRC=$(find $PKGS -name '*.go' ! -name '*_test.go')
 fail=0
 
@@ -38,7 +38,7 @@ fi
 viol=$(awk '
   /\/\/ deterministic:/ { ok = 1; next }
   /^[ \t]*\/\// { next } # comment continuation keeps a pending note alive
-  /for[ \t].*range[ \t].*(residents|deployments|NVLinks)/ {
+  /for[ \t].*range[ \t].*(residents|deployments|NVLinks|entries)/ {
     if (!ok) print FILENAME ":" FNR ": " $0
     ok = 0; next
   }
