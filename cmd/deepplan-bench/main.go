@@ -41,6 +41,8 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "append per-window resource telemetry to fig13/fig15 output")
 	zoo := flag.Int("zoo", 0, "fig-zoo: run a single zoo of exactly N variants instead of the size sweep")
 	zooPolicy := flag.String("zoo-policy", "", "fig-zoo: host-cache policy (lru | cost); empty compares both")
+	llm := flag.String("llm", "", "fig-llm: batching discipline (continuous | static); empty compares both")
+	prefillDecode := flag.Bool("prefill-decode", false, "fig-llm: disaggregate prefill and decode GPUs")
 	flag.Parse()
 
 	if *tracePath != "" && *exp == "all" {
@@ -60,7 +62,8 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, MetricsPath: *metricsPath,
-		Telemetry: *telemetry, ParallelSim: *parallelSim, ZooN: *zoo, ZooPolicy: *zooPolicy}
+		Telemetry: *telemetry, ParallelSim: *parallelSim, ZooN: *zoo, ZooPolicy: *zooPolicy,
+		LLMBatching: *llm, PrefillDecode: *prefillDecode}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

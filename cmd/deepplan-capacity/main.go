@@ -63,6 +63,11 @@ func main() {
 	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for -zoo: lru | cost (default lru)")
 	flag.Parse()
 
+	if err := checkFlags(*zoo, *autoscale); err != nil {
+		fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+		os.Exit(1)
+	}
+
 	spec := capacity.SearchSpec{
 		SLO:           sim.Duration(*slo),
 		GoodputTarget: *goodput,
@@ -160,4 +165,15 @@ func describeAlerts(alerts []monitor.Alert) string {
 		return "every error budget held"
 	}
 	return fmt.Sprintf("%d alert(s)", len(alerts))
+}
+
+// checkFlags rejects flag combinations the planner cannot search: a zoo's
+// tenants are fixed identities, so the autoscaled half of the grid would
+// probe configurations that cannot exist. Fail fast before the sweep
+// instead of wasting the whole saturation search.
+func checkFlags(zoo int, autoscale bool) error {
+	if zoo > 0 && autoscale {
+		return fmt.Errorf("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
+	}
+	return nil
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The planner must reject -zoo with -autoscale up front: the autoscaled
+// half of the search space is meaningless for fixed-identity tenants.
+func TestCheckFlagsRejectsZooAutoscale(t *testing.T) {
+	if err := checkFlags(0, true); err != nil {
+		t.Fatalf("plain -autoscale rejected: %v", err)
+	}
+	if err := checkFlags(50, false); err != nil {
+		t.Fatalf("plain -zoo rejected: %v", err)
+	}
+	err := checkFlags(50, true)
+	if err == nil {
+		t.Fatal("-zoo with -autoscale accepted")
+	}
+	if !strings.Contains(err.Error(), "autoscale") {
+		t.Fatalf("error does not name the conflicting flag: %v", err)
+	}
+}

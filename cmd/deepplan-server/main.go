@@ -73,16 +73,29 @@ func main() {
 	parallelSim := flag.Bool("parallel-sim", false, "cluster mode: per-node event queues on separate goroutines (byte-identical output)")
 	zoo := flag.Int("zoo", 0, "deploy an N-variant model zoo (tenants with Zipf popularity) instead of -model/-instances")
 	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for the zoo: pinned | lru | cost (default lru with -zoo)")
+	llmMode := flag.String("llm", "", "autoregressive serving: continuous | static batching (empty = single-shot inference)")
+	prefillDecode := flag.Bool("prefill-decode", false, "with -llm: disaggregate prefill and decode GPUs (KV handoff over NVLink/PCIe)")
+	promptTokens := flag.Int("prompt-tokens", 128, "with -llm: mean prompt length, tokens")
+	outputTokens := flag.Int("output-tokens", 32, "with -llm: mean output length, tokens")
+	tokenBudget := flag.Int("token-budget", 8, "with -llm: decode-batch token budget per iteration")
 	flag.Parse()
 
 	if *zoo > 0 && *zooPolicy == "" {
 		*zooPolicy = "lru"
 	}
+	llm, err := llmOptions(*llmMode, *prefillDecode, *tokenBudget)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := modeConflicts(*zoo, *autoscale, *maf, llm); err != nil {
+		fail("%v", err)
+	}
 	if *nodes > 1 || *autoscale || *parallelSim {
 		runCluster(*nodes, *route, *autoscale, *parallelSim, *policy, *modelName,
 			*instances, *rate, *requests, *sloMs, *maxBatch, *seed, *maf,
 			*faultSpec, *admit, *tracePath, *telemetry,
-			*metricsPath, deepplan.Duration(*metricsEvery), *zoo, *zooPolicy)
+			*metricsPath, deepplan.Duration(*metricsEvery), *zoo, *zooPolicy,
+			llm, *promptTokens, *outputTokens)
 		return
 	}
 
@@ -92,7 +105,6 @@ func main() {
 	}
 	var sched *deepplan.FaultSchedule
 	if *faultSpec != "" {
-		var err error
 		if sched, err = deepplan.ParseFaults(*faultSpec); err != nil {
 			fail("%v", err)
 		}
@@ -112,6 +124,7 @@ func main() {
 		Faults:      sched,
 		AdmitFactor: *admit,
 		Monitor:     reg,
+		LLM:         llm,
 	}
 	if *zoo > 0 {
 		// Zoo mode: the host cache is the elastic tier, so many small
@@ -174,6 +187,15 @@ func main() {
 		reqs = deepplan.PoissonWorkload(*seed, *rate, *requests, *instances)
 		fmt.Printf("deployed %d x %s; %d Poisson requests at %.0f rps\n",
 			*instances, m.Name, len(reqs), *rate)
+		if llm.Enabled {
+			reqs = deepplan.AssignTokens(reqs, *seed, *promptTokens, *outputTokens)
+			pd := ""
+			if llm.PrefillDecode {
+				pd = ", prefill/decode disaggregated"
+			}
+			fmt.Printf("llm mode:      %s batching, token budget %d, prompts ~%d -> outputs ~%d tokens%s\n",
+				llm.Batching, llm.TokenBudget, *promptTokens, *outputTokens, pd)
+		}
 	}
 
 	warm := srv.Warmup()
@@ -214,6 +236,18 @@ func main() {
 	if *faultSpec != "" {
 		fmt.Printf("faults:        %d GPU failures; %d retried, %d shed, %d completed degraded\n",
 			rep.GPUFailures, rep.Retried, rep.Shed, rep.Degraded)
+	}
+	if llm.Enabled {
+		ls := srv.LLMStats()
+		meanBatch := 0.0
+		if ls.DecodeIters > 0 {
+			meanBatch = float64(ls.DecodeSeqSum) / float64(ls.DecodeIters)
+		}
+		fmt.Printf("llm:           %d tokens over %d decode iterations (mean batch %.2f)\n",
+			ls.TokensGenerated, ls.DecodeIters, meanBatch)
+		fmt.Printf("               TTFT p50 / p99: %.1f ms / %.1f ms; kv deferred %d, kv transfers %d\n",
+			ls.TTFT.P50().Seconds()*1e3, ls.TTFT.P99().Seconds()*1e3,
+			ls.KVDeferred, ls.KVTransfers)
 	}
 
 	if *maf {
@@ -295,12 +329,10 @@ func writeMetrics(path string, reg *deepplan.MetricsRegistry) {
 func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, modelName string,
 	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
 	maf bool, faultSpec string, admit float64, tracePath string, telemetry bool,
-	metricsPath string, metricsEvery deepplan.Duration, zoo int, zooPolicy string) {
+	metricsPath string, metricsEvery deepplan.Duration, zoo int, zooPolicy string,
+	llm deepplan.LLMOptions, promptTokens, outputTokens int) {
 	if maf {
 		fail("cluster mode (-nodes > 1 / -autoscale) supports Poisson workloads without -maf")
-	}
-	if zoo > 0 && autoscale {
-		fail("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
 	}
 	if nodes < 1 {
 		fail("-nodes must be >= 1")
@@ -348,6 +380,7 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 		MetricsWriter:   metricsFile,
 		MetricsInterval: metricsEvery,
 		Parallel:        parallelSim,
+		LLM:             llm,
 	}
 	if zoo > 0 {
 		copts.HostPolicy = deepplan.HostPolicy(zooPolicy)
@@ -382,8 +415,17 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 		warm := c.Warmup()
 		fmt.Printf("deployed %d x %s on each of %d nodes (%d instances warm), route %s\n",
 			instances, m.Name, nodes, warm, route)
-		reqs = deepplan.ClusterRequests(m.Name,
-			deepplan.PoissonWorkload(seed, rate, requests, instances))
+		base := deepplan.PoissonWorkload(seed, rate, requests, instances)
+		if llm.Enabled {
+			base = deepplan.AssignTokens(base, seed, promptTokens, outputTokens)
+			pd := ""
+			if llm.PrefillDecode {
+				pd = ", prefill/decode disaggregated"
+			}
+			fmt.Printf("llm mode:      %s batching, token budget %d, prompts ~%d -> outputs ~%d tokens%s\n",
+				llm.Batching, llm.TokenBudget, promptTokens, outputTokens, pd)
+		}
+		reqs = deepplan.ClusterRequests(m.Name, base)
 		fmt.Printf("%d Poisson requests at %.0f rps\n\n", len(reqs), rate)
 	}
 
@@ -414,6 +456,13 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 	if faultSpec != "" {
 		fmt.Printf("faults:        %d GPU failures; %d retried\n",
 			rep.GPUFailures, rep.Retried)
+	}
+	if llm.Enabled {
+		fmt.Printf("llm:           %d tokens (%.1f tok/s) over %d decode iterations (mean batch %.2f)\n",
+			rep.TokensGenerated, rep.TokenRate, rep.DecodeIters, rep.MeanDecodeBatch)
+		fmt.Printf("               TTFT p50 / p99: %.1f ms / %.1f ms; kv deferred %d, kv transfers %d\n",
+			rep.TTFTP50.Seconds()*1e3, rep.TTFTP99.Seconds()*1e3,
+			rep.KVDeferred, rep.KVTransfers)
 	}
 	if reg != nil {
 		fmt.Printf("\nalerts (SLO burn-rate monitor):\n")
@@ -478,6 +527,44 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics snapshots to %s\n", metricsPath)
 	}
+}
+
+// llmOptions validates the autoregressive-mode flags and folds them into a
+// serving configuration. An empty mode keeps the paper's single-shot regime.
+func llmOptions(mode string, prefillDecode bool, tokenBudget int) (deepplan.LLMOptions, error) {
+	switch mode {
+	case "":
+		if prefillDecode {
+			return deepplan.LLMOptions{}, fmt.Errorf("-prefill-decode requires -llm continuous|static")
+		}
+		return deepplan.LLMOptions{}, nil
+	case deepplan.LLMBatchContinuous, deepplan.LLMBatchStatic:
+		return deepplan.LLMOptions{
+			Enabled:       true,
+			Batching:      mode,
+			TokenBudget:   tokenBudget,
+			PrefillDecode: prefillDecode,
+		}, nil
+	default:
+		return deepplan.LLMOptions{}, fmt.Errorf("-llm %q: want continuous or static", mode)
+	}
+}
+
+// modeConflicts rejects flag combinations whose semantics do not compose,
+// before any deployment work starts: zoo tenants have fixed identities so
+// the autoscaler does not apply, the MAF trace carries no token
+// annotations, and a zoo mixes vision variants that cannot decode.
+func modeConflicts(zoo int, autoscale, maf bool, llm deepplan.LLMOptions) error {
+	if zoo > 0 && autoscale {
+		return fmt.Errorf("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
+	}
+	if llm.Enabled && maf {
+		return fmt.Errorf("-llm needs token-annotated Poisson workloads; -maf traces carry none")
+	}
+	if llm.Enabled && zoo > 0 {
+		return fmt.Errorf("-llm serves a single transformer; -zoo variants include models without KV caches")
+	}
+	return nil
 }
 
 type deployment struct {

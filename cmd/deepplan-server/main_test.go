@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"deepplan"
+)
+
+func TestLLMOptionsValidation(t *testing.T) {
+	llm, err := llmOptions("", false, 8)
+	if err != nil || llm.Enabled {
+		t.Fatalf("empty mode should disable LLM cleanly: %+v, %v", llm, err)
+	}
+	if _, err := llmOptions("", true, 8); err == nil {
+		t.Fatal("-prefill-decode without -llm accepted")
+	}
+	llm, err = llmOptions(deepplan.LLMBatchStatic, true, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !llm.Enabled || llm.Batching != deepplan.LLMBatchStatic ||
+		llm.TokenBudget != 16 || !llm.PrefillDecode {
+		t.Fatalf("flags not threaded through: %+v", llm)
+	}
+	if _, err := llmOptions("dynamic", false, 8); err == nil {
+		t.Fatal("unknown batching discipline accepted")
+	}
+}
+
+// -zoo and -autoscale must fail fast with an actionable message instead of
+// deploying a zoo the autoscaler cannot manage.
+func TestModeConflicts(t *testing.T) {
+	if err := modeConflicts(0, true, false, deepplan.LLMOptions{}); err != nil {
+		t.Fatalf("plain autoscale rejected: %v", err)
+	}
+	if err := modeConflicts(100, false, false, deepplan.LLMOptions{}); err != nil {
+		t.Fatalf("plain zoo rejected: %v", err)
+	}
+	err := modeConflicts(100, true, false, deepplan.LLMOptions{})
+	if err == nil {
+		t.Fatal("-zoo with -autoscale accepted")
+	}
+	if !strings.Contains(err.Error(), "autoscale") {
+		t.Fatalf("error does not name the conflicting flag: %v", err)
+	}
+	llm := deepplan.LLMOptions{Enabled: true}
+	if err := modeConflicts(0, false, true, llm); err == nil {
+		t.Fatal("-llm with -maf accepted")
+	}
+	if err := modeConflicts(100, false, false, llm); err == nil {
+		t.Fatal("-llm with -zoo accepted")
+	}
+}

@@ -119,7 +119,30 @@ type (
 	// PackMode selects GPU placement packing (ServerOptions.Pack /
 	// ClusterOptions.Pack).
 	PackMode = serving.PackMode
+	// LLMOptions configures the autoregressive serving mode
+	// (ServerOptions.LLM / ClusterOptions.LLM): iteration-level batching
+	// discipline, per-iteration token budget, output cap, and optional
+	// prefill/decode disaggregation. The zero value disables the mode.
+	LLMOptions = serving.LLMConfig
 )
+
+// Batching disciplines for LLMOptions.Batching.
+const (
+	// LLMBatchContinuous admits and retires sequences at iteration
+	// boundaries of the running decode batch (Orca-style; the default).
+	LLMBatchContinuous = serving.LLMBatchContinuous
+	// LLMBatchStatic runs each admitted batch to completion before
+	// admitting the next — the baseline continuous batching beats.
+	LLMBatchStatic = serving.LLMBatchStatic
+)
+
+// AssignTokens annotates an arrival sequence with prompt and output token
+// lengths drawn from geometric-like distributions around the given means
+// (deterministic in seed; arrival times are untouched). Use it to turn any
+// workload generator's output into an LLM workload.
+func AssignTokens(reqs []Request, seed int64, promptMean, outputMean int) []Request {
+	return workload.WithTokens(reqs, seed, promptMean, outputMean)
+}
 
 // Host-memory tier policies for ServerOptions.HostPolicy.
 const (
@@ -379,6 +402,11 @@ type ServerOptions struct {
 	// Pack selects GPU placement packing (default PackSpread; PackDense
 	// bin-packs fractional zoo instances).
 	Pack PackMode
+	// LLM enables the autoregressive serving mode: per-token decode with
+	// iteration-level continuous batching, KV-cache admission against GPU
+	// memory, and optional prefill/decode disaggregation. The zero value
+	// keeps the paper's single-shot regime byte-identical.
+	LLM LLMOptions
 }
 
 // Server is a simulated multi-GPU inference server.
@@ -405,6 +433,7 @@ func (p *Platform) NewServer(opts ServerOptions) (*Server, error) {
 		HostPolicy:  opts.HostPolicy,
 		HostMemory:  opts.HostMemory,
 		Pack:        opts.Pack,
+		LLM:         opts.LLM,
 	})
 }
 
@@ -485,6 +514,9 @@ type ClusterOptions struct {
 	// Pack selects each node's GPU placement packing (see
 	// ServerOptions.Pack).
 	Pack PackMode
+	// LLM enables autoregressive serving on every node (see
+	// ServerOptions.LLM).
+	LLM LLMOptions
 }
 
 // NewCluster builds a multi-node serving system on this platform: every
@@ -516,6 +548,7 @@ func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
 		HostPolicy:      opts.HostPolicy,
 		HostMemory:      opts.HostMemory,
 		Pack:            opts.Pack,
+		LLM:             opts.LLM,
 	})
 }
 
@@ -524,7 +557,8 @@ func (p *Platform) NewCluster(opts ClusterOptions) (*Cluster, error) {
 func ClusterRequests(model string, reqs []Request) []ClusterRequest {
 	out := make([]ClusterRequest, len(reqs))
 	for i, r := range reqs {
-		out[i] = ClusterRequest{At: r.At, Model: model, Key: r.Instance}
+		out[i] = ClusterRequest{At: r.At, Model: model, Key: r.Instance,
+			PromptTokens: r.PromptTokens, OutputTokens: r.OutputTokens}
 	}
 	return out
 }

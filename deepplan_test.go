@@ -228,3 +228,70 @@ func TestPlanJSONThroughFacade(t *testing.T) {
 		t.Fatal("serialized plan missing mode")
 	}
 }
+
+func TestLLMFacade(t *testing.T) {
+	platform := deepplan.NewP38xlarge()
+	srv, err := platform.NewServer(deepplan.ServerOptions{
+		Policy: deepplan.ModeDHA,
+		LLM:    deepplan.LLMOptions{Enabled: true, Batching: deepplan.LLMBatchContinuous},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := deepplan.LoadModel("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Deploy(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	srv.Warmup()
+	reqs := deepplan.AssignTokens(deepplan.PoissonWorkload(7, 60, 120, 4), 7, 128, 16)
+	for _, r := range reqs {
+		if r.PromptTokens < 1 || r.OutputTokens < 1 {
+			t.Fatalf("AssignTokens left a request without tokens: %+v", r)
+		}
+	}
+	rep, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 120 || rep.Shed != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	ls := srv.LLMStats()
+	if ls.TokensGenerated <= 120 {
+		t.Fatalf("decode path not exercised: %d tokens", ls.TokensGenerated)
+	}
+	// Static batching is the only other accepted discipline.
+	if _, err := platform.NewServer(deepplan.ServerOptions{
+		LLM: deepplan.LLMOptions{Enabled: true, Batching: "bogus"},
+	}); err == nil {
+		t.Fatal("unknown batching discipline accepted")
+	}
+	// Prefill/decode disaggregation threads through the cluster facade too.
+	c, err := platform.NewCluster(deepplan.ClusterOptions{
+		Nodes: 2,
+		LLM:   deepplan.LLMOptions{Enabled: true, PrefillDecode: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	c.Warmup()
+	creqs := deepplan.ClusterRequests("GPT-2", reqs)
+	for i, cr := range creqs {
+		if cr.PromptTokens != reqs[i].PromptTokens || cr.OutputTokens != reqs[i].OutputTokens {
+			t.Fatal("ClusterRequests dropped token annotations")
+		}
+	}
+	crep, err := c.Run(creqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.TokensGenerated <= crep.Requests || crep.TTFTP99 <= 0 {
+		t.Fatalf("cluster LLM report = %+v", crep)
+	}
+}

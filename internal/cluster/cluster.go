@@ -172,6 +172,10 @@ type Config struct {
 	// Pack selects each node's GPU placement packing (see
 	// serving.Config.Pack). Default spread; zoos use dense.
 	Pack serving.PackMode
+	// LLM configures autoregressive serving on every node (see
+	// serving.Config.LLM). The zero value keeps single-shot serving
+	// byte-identical.
+	LLM serving.LLMConfig
 }
 
 // Request is one cluster-level arrival: a model invocation identified by a
@@ -182,6 +186,10 @@ type Request struct {
 	At    sim.Time
 	Model string
 	Key   int
+	// PromptTokens/OutputTokens parameterize autoregressive requests
+	// (Config.LLM); zero for single-shot invocations.
+	PromptTokens int
+	OutputTokens int
 }
 
 type modelState struct {
@@ -348,6 +356,7 @@ func New(cfg Config) (*Cluster, error) {
 			HostFetchBandwidth: cfg.HostFetchBandwidth,
 			HostFetchOverhead:  cfg.HostFetchOverhead,
 			Pack:               cfg.Pack,
+			LLM:                cfg.LLM,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -584,7 +593,8 @@ func (c *Cluster) handle(req Request) error {
 	if m.zoo {
 		instance = m.insts[replica] // tenant identity: never remap across variants
 	}
-	return n.srv.Submit(workload.Request{At: req.At, Instance: instance})
+	return n.srv.Submit(workload.Request{At: req.At, Instance: instance,
+		PromptTokens: req.PromptTokens, OutputTokens: req.OutputTokens})
 }
 
 // scaleTick runs one autoscaler decision from the window's telemetry.
@@ -820,6 +830,17 @@ type Report struct {
 	HostMisses    int
 	HostEvictions int
 
+	// Autoregressive-mode aggregates, zero unless Config.LLM was enabled.
+	// In LLM mode the cold/warm percentiles above measure time-to-first-
+	// token per class while P50/P99/Mean/Max cover full generation.
+	TTFTP50, TTFTP99 sim.Duration
+	TokensGenerated  int
+	TokenRate        float64 // generated tokens per simulated second, fleet-wide
+	DecodeIters      int
+	MeanDecodeBatch  float64
+	KVDeferred       int
+	KVTransfers      int
+
 	ScaleUps, ScaleDowns int
 	Replicas             []ReplicaStat
 	// Horizon is the virtual time at which the run quiesced — the billing
@@ -846,7 +867,8 @@ func (c *Cluster) report(requests int) (*Report, error) {
 		Requests: requests,
 	}
 	end := c.now()
-	var all, cold, warm metrics.Digest
+	var all, cold, warm, ttft metrics.Digest
+	var decodeSeqSum int
 	var perNode [][]metrics.TelemetryStat
 	for _, n := range c.nodes {
 		n.srv.FinalizeMonitor(end) // cluster-wide horizon, identical serial vs parallel
@@ -868,6 +890,15 @@ func (c *Cluster) report(requests int) (*Report, error) {
 		r.HostHits += rep.HostHits
 		r.HostMisses += rep.HostMisses
 		r.HostEvictions += rep.HostEvictions
+		if c.cfg.LLM.Enabled {
+			ls := n.srv.LLMStats()
+			ttft.Merge(ls.TTFT)
+			r.TokensGenerated += ls.TokensGenerated
+			r.DecodeIters += ls.DecodeIters
+			decodeSeqSum += ls.DecodeSeqSum
+			r.KVDeferred += ls.KVDeferred
+			r.KVTransfers += ls.KVTransfers
+		}
 		r.PerNode = append(r.PerNode, NodeStat{
 			Node:       n.id,
 			Routed:     c.routed[n.id],
@@ -887,6 +918,15 @@ func (c *Cluster) report(requests int) (*Report, error) {
 	r.ColdP50, r.ColdP99 = cold.P50(), cold.P99()
 	r.WarmP99 = warm.P99()
 	r.Goodput = all.GoodputRate(c.cfg.SLO)
+	if c.cfg.LLM.Enabled {
+		r.TTFTP50, r.TTFTP99 = ttft.P50(), ttft.P99()
+		if secs := end.Sub(0).Seconds(); secs > 0 {
+			r.TokenRate = float64(r.TokensGenerated) / secs
+		}
+		if r.DecodeIters > 0 {
+			r.MeanDecodeBatch = float64(decodeSeqSum) / float64(r.DecodeIters)
+		}
+	}
 	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
 	r.Horizon = end.Sub(0)
 	c.simTimeG.Set(r.Horizon.Seconds())

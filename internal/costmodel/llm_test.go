@@ -1,0 +1,52 @@
+package costmodel
+
+import (
+	"testing"
+
+	"deepplan/internal/dnn"
+)
+
+func TestDecodeIterTimeAmortizesAcrossSequences(t *testing.T) {
+	p := Default()
+	m, err := dnn.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := p.DecodeIterTime(m, 1)
+	eight := p.DecodeIterTime(m, 8)
+	if one <= 0 {
+		t.Fatalf("single-sequence iteration = %v", one)
+	}
+	if eight <= one {
+		t.Fatalf("more sequences must cost more per iteration: 1→%v 8→%v", one, eight)
+	}
+	// The fixed cost (weight re-read + kernel overheads) dominates the
+	// per-sequence marginal cost — that asymmetry is why continuous batching
+	// wins: 8 sequences per iteration must cost far less than 8 iterations.
+	if float64(eight) > 2*float64(one) {
+		t.Fatalf("batching amortizes poorly: 1→%v 8→%v", one, eight)
+	}
+	if p.DecodeIterTime(m, 0) != one {
+		t.Error("nSeqs < 1 not clamped to 1")
+	}
+}
+
+func TestPrefillScale(t *testing.T) {
+	m, err := dnn.ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := PrefillScale(m, 0); s != 0 {
+		t.Errorf("no prompt length should mean unscaled (0), got %v", s)
+	}
+	if s := PrefillScale(m, m.SeqLen); s != 1 {
+		t.Errorf("full-sequence prompt should scale 1, got %v", s)
+	}
+	if s := PrefillScale(m, 4*m.SeqLen); s != 1 {
+		t.Errorf("over-length prompt should clamp to 1, got %v", s)
+	}
+	half := PrefillScale(m, m.SeqLen/2)
+	if half <= 0 || half >= 1 {
+		t.Errorf("half-sequence prompt scale = %v, want in (0, 1)", half)
+	}
+}

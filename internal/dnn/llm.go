@@ -1,0 +1,39 @@
+package dnn
+
+// Autoregressive-serving metadata derived from a model's structure. The
+// layer IR carries single-shot shapes (the paper's regime); token-by-token
+// decoding additionally needs the per-token KV-cache growth, which is a pure
+// function of the transformer's attention geometry.
+
+// Hidden returns the model's hidden dimension, inferred from the first
+// parameterized LayerNorm (gamma+beta are 2*hidden float32 values). Vision
+// models without LayerNorm return 0.
+func (m *Model) Hidden() int64 {
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.Kind == LayerNorm && l.ParamBytes > 0 {
+			return l.ParamBytes / (2 * f32)
+		}
+	}
+	return 0
+}
+
+// NumAttention returns the number of attention layers (one per transformer
+// block in the builders here).
+func (m *Model) NumAttention() int {
+	n := 0
+	for i := range m.Layers {
+		if m.Layers[i].Kind == Attention {
+			n++
+		}
+	}
+	return n
+}
+
+// KVBytesPerToken returns the KV-cache bytes one sequence accumulates per
+// token: every attention layer stores a key and a value vector of the hidden
+// dimension in float32. Zero for models without attention (vision models),
+// which therefore cannot serve autoregressively.
+func (m *Model) KVBytesPerToken() int64 {
+	return int64(m.NumAttention()) * 2 * m.Hidden() * f32
+}

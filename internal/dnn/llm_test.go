@@ -1,0 +1,32 @@
+package dnn
+
+import "testing"
+
+func TestKVBytesPerToken(t *testing.T) {
+	m, err := ByName("gpt2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPT-2 small: hidden 768, 12 attention layers, fp32 K and V vectors
+	// per token per layer.
+	if h := m.Hidden(); h != 768 {
+		t.Fatalf("Hidden = %d, want 768", h)
+	}
+	if n := m.NumAttention(); n != 12 {
+		t.Fatalf("NumAttention = %d, want 12", n)
+	}
+	want := int64(12 * 2 * 768 * 4)
+	if got := m.KVBytesPerToken(); got != want {
+		t.Fatalf("KVBytesPerToken = %d, want %d", got, want)
+	}
+}
+
+func TestKVBytesZeroForVisionModels(t *testing.T) {
+	m, err := ByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.KVBytesPerToken(); got != 0 {
+		t.Fatalf("resnet50 KVBytesPerToken = %d, want 0 (no attention layers)", got)
+	}
+}

@@ -191,6 +191,13 @@ type Spec struct {
 	ResidentMask []bool
 	// PCM, when non-nil, accumulates PCIe/NVLink traffic for this run.
 	PCM *pcm.Counters
+	// ComputeScale, when in (0,1), scales every layer's compute duration.
+	// The autoregressive serving mode uses it to price a prefill over a
+	// prompt shorter than the model's calibrated sequence length. Copy and
+	// DHA traffic are unscaled (weight movement is token-independent).
+	// Zero and one both mean "unscaled", exactly — no float round-trip —
+	// so single-shot runs stay byte-identical.
+	ComputeScale float64
 	// OnDone receives the result when the last layer retires.
 	OnDone func(*Result)
 }
@@ -313,6 +320,16 @@ func (e *Engine) Start(spec Spec) error {
 // resident reports whether layer i needs no transmission in this run.
 func resident(spec *Spec, i int) bool {
 	return spec.Warm || (spec.ResidentMask != nil && spec.ResidentMask[i])
+}
+
+// scaleDur applies a spec's ComputeScale to a compute duration. Scale 0 and
+// 1 return d unchanged so the common single-shot path never round-trips
+// through float64.
+func scaleDur(d sim.Duration, s float64) sim.Duration {
+	if s == 0 || s == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * s)
 }
 
 type runState struct {
@@ -572,7 +589,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 			j := i
 			var total sim.Duration
 			for j < m.NumLayers() && plainCompute(j) {
-				total += e.cost.ComputeTime(&m.Layers[j], batch)
+				total += scaleDur(e.cost.ComputeTime(&m.Layers[j], batch), spec.ComputeScale)
 				j++
 			}
 			lo, hi := i, j
@@ -593,7 +610,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 						for k := lo; k < hi; k++ {
 							tk := &rs.res.Timings[k]
 							tk.ExecStart = at
-							at = at.Add(e.cost.ComputeTime(&m.Layers[k], batch))
+							at = at.Add(scaleDur(e.cost.ComputeTime(&m.Layers[k], batch), spec.ComputeScale))
 							tk.ExecDone = at
 						}
 						prevDone = e.sim.Now()
@@ -632,7 +649,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 			if spec.PCM != nil {
 				spec.PCM.AddDHA(dhaBytes)
 			}
-			compute := e.cost.ComputeTime(l, batch)
+			compute := scaleDur(e.cost.ComputeTime(l, batch), spec.ComputeScale)
 			dhaName := names.layers[i].dha
 			primary.exec.Submit(dhaName, func(done func()) {
 				if rs.aborted {
@@ -678,7 +695,7 @@ func (e *Engine) schedule(spec Spec, batch int) {
 				}
 			})
 		default:
-			compute := e.cost.ComputeTime(l, batch)
+			compute := scaleDur(e.cost.ComputeTime(l, batch), spec.ComputeScale)
 			primary.exec.Submit(names.layers[i].exec, func(done func()) {
 				if rs.aborted {
 					done()
@@ -852,6 +869,65 @@ func (r *Result) EmitTrace(rec *trace.Recorder) {
 // ExecIdle reports whether a GPU's execution stream is idle (used by the
 // serving scheduler).
 func (e *Engine) ExecIdle(gpu int) bool { return e.gpus[gpu].exec.Idle() }
+
+// StartTask occupies a GPU's execution stream with one opaque task of the
+// given duration — the serving layer's decode iterations, which have no
+// per-layer structure worth simulating individually. The task queues FIFO
+// behind (and ahead of) ordinary runs on the same stream, so prefills and
+// decode iterations serialize exactly like kernels on one CUDA stream. On a
+// failable engine the task is tracked like a run: FailGPU on its GPU aborts
+// it and onDone fires with Result.Aborted set.
+func (e *Engine) StartTask(gpu int, name string, d sim.Duration, onDone func(*Result)) error {
+	if gpu < 0 || gpu >= len(e.gpus) {
+		return fmt.Errorf("engine: task GPU %d out of range", gpu)
+	}
+	if e.failable && e.failed[gpu] {
+		return fmt.Errorf("engine: task GPU %d is failed", gpu)
+	}
+	rs := &runState{res: &Result{
+		Model:     name,
+		Mode:      "task",
+		Primary:   gpu,
+		Submitted: e.sim.Now(),
+	}, index: -1, onDone: onDone}
+	if e.failable {
+		e.track(rs)
+	}
+	ex := e.gpus[gpu].exec
+	ex.Submit(name, func(done func()) {
+		if rs.aborted {
+			done()
+			return
+		}
+		rs.res.ExecBegin = e.sim.Now()
+		aw := e.newAwait(rs, done)
+		var timer *sim.Event
+		timer = e.sim.After(d, func() {
+			timer = nil
+			settle(aw, done)
+		})
+		if aw != nil {
+			aw.cancel = func() {
+				if timer != nil {
+					e.sim.Cancel(timer)
+				}
+			}
+		}
+	})
+	ex.Do(name, func() {
+		if rs.aborted {
+			// abortRun already finalized and reported the task.
+			return
+		}
+		e.untrack(rs)
+		rs.res.Finish = e.sim.Now()
+		e.finalize(rs.res)
+		if rs.onDone != nil {
+			rs.onDone(rs.res)
+		}
+	})
+	return nil
+}
 
 // RunOnce builds a fresh simulator+network around the given topology, runs a
 // single inference to completion, and returns its result. The topology must

@@ -58,6 +58,12 @@ type Options struct {
 	// Other experiments ignore both fields.
 	ZooN      int
 	ZooPolicy string
+	// LLMBatching ("continuous" or "static") pins fig-llm's batching
+	// comparison to one discipline; empty compares both. PrefillDecode
+	// runs fig-llm with prefill and decode disaggregated onto separate
+	// GPUs. Other experiments ignore both fields.
+	LLMBatching   string
+	PrefillDecode bool
 }
 
 // Experiment is one reproducible table/figure.
@@ -88,6 +94,7 @@ var registry = []Experiment{
 	{"fig-capacity", "Capacity planning: cost-vs-capacity frontier over the config grid", FigCapacity},
 	{"fig-slo", "SLO monitor: burn-rate alerts under faults, per cold-start policy", FigSLO},
 	{"fig-zoo", "Model zoo: cold-start tail vs zoo size under a pinned host-cache tier", FigZoo},
+	{"fig-llm", "Autoregressive serving: continuous vs static batching with a KV cache", FigLLM},
 }
 
 // All returns every experiment in presentation order.

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -16,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig5", "table1", "fig6", "table2", "fig11", "table3",
 		"table4", "fig12", "table5", "fig13", "fig14", "fig15", "fig16",
 	}
-	extra := []string{"fig-faults", "fig-cluster", "fig-capacity", "fig-slo", "fig-zoo", "ext-large", "ext-moe", "ablate-prune", "ablate-parts", "ablate-pcie", "ablate-nvlink"}
+	extra := []string{"fig-faults", "fig-cluster", "fig-capacity", "fig-slo", "fig-zoo", "fig-llm", "ext-large", "ext-moe", "ablate-prune", "ablate-parts", "ablate-pcie", "ablate-nvlink"}
 	ids := IDs()
 	if len(ids) != len(paper)+len(extra) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(paper)+len(extra))
@@ -115,5 +117,47 @@ func TestTable2BandwidthShape(t *testing.T) {
 	}
 	if four < 5 || four > 7.5 {
 		t.Errorf("4-GPU lane bw = %.2f GB/s, want ~6", four)
+	}
+}
+
+// fig-llm's headline must hold at equal offered load: continuous batching
+// beats static on token goodput AND on the time-to-first-token tail, for
+// both cold-start policies.
+func TestFigLLMContinuousWins(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FigLLM(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var checked int
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasSuffix(line, "lower ttft-p99") {
+			continue
+		}
+		var policy string
+		var tok, ttft float64
+		if _, err := fmt.Sscanf(line, "%s %fx token goodput, %fx lower ttft-p99", &policy, &tok, &ttft); err != nil {
+			t.Fatalf("unparseable headline %q: %v", line, err)
+		}
+		if tok <= 1 || ttft <= 1 {
+			t.Errorf("%s: continuous does not beat static (%.2fx tokens, %.2fx ttft)\n%s",
+				policy, tok, ttft, out)
+		}
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("found %d headline lines, want 2 (one per policy)\n%s", checked, out)
+	}
+	// Pinning one discipline and disaggregating prefill/decode still runs.
+	buf.Reset()
+	if err := FigLLM(&buf, Options{Quick: true, LLMBatching: "continuous", PrefillDecode: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "disaggregated") {
+		t.Fatal("prefill/decode run does not say so")
+	}
+	if err := FigLLM(io.Discard, Options{Quick: true, LLMBatching: "dynamic"}); err == nil {
+		t.Fatal("unknown batching discipline accepted")
 	}
 }

@@ -121,6 +121,10 @@ type Config struct {
 	// instances (footprint ≤ ¼ GPU) onto the fullest GPU that still fits
 	// them, at page granularity, so many small models share one GPU.
 	Pack PackMode
+	// LLM configures the autoregressive serving mode (token-by-token decode
+	// with KV-cache admission). The zero value keeps the paper's single-shot
+	// regime byte-identical.
+	LLM LLMConfig
 }
 
 // InstanceState is an instance's residency state.
@@ -155,6 +159,14 @@ type Instance struct {
 	// instance coalesce onto fetchWait instead of starting another fetch.
 	fetching  bool
 	fetchWait []pending
+	// pdGPU/pdBlock hold the decode replica under prefill/decode
+	// disaggregation: the weights live on a second GPU so decode iterations
+	// never contend with prefills. pdBlock is nil outside that mode.
+	pdGPU   int
+	pdBlock *gpumem.Block
+	// llm is the instance's decode-batch state; nil until the first
+	// sequence enters decode.
+	llm *llmState
 }
 
 // pending is a request threaded through dispatch with its retry count: a
@@ -206,15 +218,20 @@ type Deployment struct {
 	// Footprint, page-aligned under PackDense so simulated packing density
 	// never exceeds what CUDA's 2 MiB mapping granularity allows.
 	gpuBytes int64
+	// decodeName is the cached exec-stream task label for decode iterations.
+	decodeName string
 	// mon holds the deployment's pre-resolved monitor handles; nil when
 	// monitoring is off.
 	mon *depInstruments
 }
 
 type gpuState struct {
-	id             int
-	mem            *gpumem.Allocator
-	residents      map[*Instance]bool
+	id        int
+	mem       *gpumem.Allocator
+	residents map[*Instance]bool
+	// kv manages per-sequence KV-cache reservations out of the same
+	// allocator as the weights, so weights + KV can never exceed capacity.
+	kv             *gpumem.KVCache
 	queued         int // outstanding inference runs
 	activeColds    int
 	secondaryColds int
@@ -253,6 +270,7 @@ type Server struct {
 	digest          metrics.Digest
 	coldDigest      metrics.Digest // latency of requests served by a cold-start run
 	warmDigest      metrics.Digest
+	ttftDigest      metrics.Digest // time-to-first-token (LLM mode)
 	series          *metrics.Series
 	submitted       int
 	coldStarts      int
@@ -268,6 +286,14 @@ type Server struct {
 	gpuFailures     int
 	waitlist        []waiting
 	completed       int
+
+	// Autoregressive-mode counters (zero when Config.LLM is off).
+	tokensGenerated int
+	decodeIters     int
+	decodeSeqSum    int // sum of per-iteration batch widths
+	kvDeferred      int // KV admission deferral events
+	kvTransfers     int // prefill→decode KV handoffs (disaggregated mode)
+	kvTransferBytes float64
 }
 
 // New builds a Server. The topology must not be shared with another
@@ -317,6 +343,28 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serving: unknown pack mode %q", cfg.Pack)
 	}
+	if cfg.LLM.Enabled {
+		switch cfg.LLM.Batching {
+		case "":
+			cfg.LLM.Batching = LLMBatchContinuous
+		case LLMBatchContinuous, LLMBatchStatic:
+		default:
+			return nil, fmt.Errorf("serving: unknown LLM batching mode %q (want %s or %s)",
+				cfg.LLM.Batching, LLMBatchContinuous, LLMBatchStatic)
+		}
+		if cfg.LLM.TokenBudget <= 0 {
+			cfg.LLM.TokenBudget = 8
+		}
+		if cfg.LLM.MaxOutput <= 0 {
+			cfg.LLM.MaxOutput = 64
+		}
+		if cfg.LLM.PrefillDecode && cfg.Topo.NumGPUs() < 2 {
+			return nil, fmt.Errorf("serving: prefill/decode disaggregation needs at least 2 GPUs, topology has %d",
+				cfg.Topo.NumGPUs())
+		}
+	} else if cfg.LLM.PrefillDecode {
+		return nil, fmt.Errorf("serving: PrefillDecode requires LLM mode")
+	}
 	host, err := hostmem.NewCache(cfg.HostMemory, hostPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
@@ -350,9 +398,11 @@ func New(cfg Config) (*Server, error) {
 		if usable <= 0 {
 			return nil, fmt.Errorf("serving: GPU %d has no usable memory after reserve", g.ID)
 		}
+		mem := gpumem.New(usable)
 		srv.gpus = append(srv.gpus, &gpuState{
 			id:        g.ID,
-			mem:       gpumem.New(usable),
+			mem:       mem,
+			kv:        gpumem.NewKVCache(mem),
 			residents: map[*Instance]bool{},
 		})
 	}
@@ -415,6 +465,16 @@ func (srv *Server) onGPUDown(id int) {
 	for _, inst := range victims {
 		srv.evict(inst)
 	}
+	if srv.cfg.LLM.PrefillDecode {
+		// Instances whose decode replica lived on the failed GPU lose their
+		// KV caches even though their prefill GPU is healthy; evict them too
+		// (the instance slice gives a deterministic order).
+		for _, inst := range srv.instances {
+			if inst.state == Warm && inst.pdBlock != nil && inst.pdGPU == id {
+				srv.evict(inst)
+			}
+		}
+	}
 	// Abort in-flight runs last: their OnDone callbacks re-dispatch the
 	// aborted requests, and by now placement already avoids this GPU.
 	srv.eng.FailGPU(id)
@@ -461,6 +521,10 @@ func (srv *Server) deployment(model *dnn.Model) (*Deployment, error) {
 	if dep, ok := srv.deployments[model.Name]; ok {
 		return dep, nil
 	}
+	if srv.cfg.LLM.Enabled && model.KVBytesPerToken() <= 0 {
+		return nil, fmt.Errorf("serving: model %s has no attention layers; autoregressive serving needs a transformer",
+			model.Name)
+	}
 	prof, err := profiler.Run(model, srv.cfg.Cost, srv.cfg.Topo, profiler.Options{Batch: srv.cfg.Batch})
 	if err != nil {
 		return nil, err
@@ -496,6 +560,7 @@ func (srv *Server) deployment(model *dnn.Model) (*Deployment, error) {
 		dep.gpuBytes = gpumem.AlignUp(dep.Footprint, gpumem.PageBytes)
 	}
 	dep.mon = srv.ins.deployInstruments(srv.cfg.Policy, model.Name)
+	dep.decodeName = "decode:" + model.Name
 	srv.deployments[model.Name] = dep
 	return dep, nil
 }
@@ -545,6 +610,18 @@ func (srv *Server) Warmup() int {
 		for try := 0; try < len(srv.gpus); try++ {
 			gs := srv.gpus[(g+try)%len(srv.gpus)]
 			if blk, err := gs.mem.Alloc(inst.dep.gpuBytes, inst.dep.Model.Name); err == nil {
+				if srv.cfg.LLM.PrefillDecode {
+					// Warmup never evicts, so the decode replica is
+					// best-effort too.
+					pdGS, pdBlk := srv.allocDecode(inst, gs, false)
+					if pdBlk == nil {
+						if err := gs.mem.Free(blk); err != nil {
+							panic("serving: warmup accounting bug: " + err.Error())
+						}
+						continue
+					}
+					inst.pdGPU, inst.pdBlock = pdGS.id, pdBlk
+				}
 				inst.state = Warm
 				inst.gpu = gs.id
 				inst.block = blk
@@ -956,6 +1033,18 @@ func (srv *Server) place(inst *Instance) bool {
 			if err != nil {
 				continue // fragmentation raced us; try next GPU
 			}
+			if srv.cfg.LLM.PrefillDecode {
+				pdGS, pdBlk := srv.allocDecode(inst, gs, true)
+				if pdBlk == nil {
+					// No second GPU can host the decode replica right now.
+					if err := gs.mem.Free(blk); err != nil {
+						panic("serving: placement accounting bug: " + err.Error())
+					}
+					continue
+				}
+				inst.pdGPU, inst.pdBlock = pdGS.id, pdBlk
+				srv.memCounter(pdGS)
+			}
 			inst.state = Warm
 			inst.loading = true
 			inst.gpu = gs.id
@@ -969,6 +1058,36 @@ func (srv *Server) place(inst *Instance) bool {
 		}
 	}
 	return false
+}
+
+// allocDecode finds a second GPU for an instance's decode replica under
+// prefill/decode disaggregation: the canonical partner (primary + N/2, the
+// far half of the topology) first, then any other live GPU in id order.
+// evictOK lets the search evict LRU idle residents to make room (placement
+// path); Warmup passes false.
+func (srv *Server) allocDecode(inst *Instance, primary *gpuState, evictOK bool) (*gpuState, *gpumem.Block) {
+	n := len(srv.gpus)
+	cands := make([]int, 0, n)
+	cands = append(cands, (primary.id+n/2)%n)
+	for i := 0; i < n; i++ {
+		if i != cands[0] {
+			cands = append(cands, i)
+		}
+	}
+	need := inst.dep.gpuBytes
+	for _, id := range cands {
+		gs := srv.gpus[id]
+		if gs.down || gs.id == primary.id {
+			continue
+		}
+		if evictOK && !srv.makeRoom(gs, need) {
+			continue
+		}
+		if blk, err := gs.mem.Alloc(need, inst.dep.Model.Name); err == nil {
+			return gs, blk
+		}
+	}
+	return nil, nil
 }
 
 // fractional reports whether a footprint is small enough (≤ ¼ of a GPU)
@@ -1010,6 +1129,10 @@ func (srv *Server) lruIdle(gs *gpuState) *Instance {
 // (the entry merely unlocks, making it an eviction candidate for the host
 // cache tier), so GPU eviction is free — metadata only.
 func (srv *Server) evict(inst *Instance) {
+	// Sequences mid-decode die with their KV cache; failLLM re-dispatches
+	// them (no-op outside the autoregressive mode, where eviction candidates
+	// are always idle).
+	srv.failLLM(inst)
 	gs := srv.gpus[inst.gpu]
 	if err := gs.mem.Free(inst.block); err != nil {
 		panic("serving: eviction accounting bug: " + err.Error())
@@ -1017,6 +1140,14 @@ func (srv *Server) evict(inst *Instance) {
 	delete(gs.residents, inst)
 	inst.state = Cold
 	inst.block = nil
+	if inst.pdBlock != nil {
+		pgs := srv.gpus[inst.pdGPU]
+		if err := pgs.mem.Free(inst.pdBlock); err != nil {
+			panic("serving: decode-replica eviction accounting bug: " + err.Error())
+		}
+		inst.pdBlock = nil
+		srv.memCounter(pgs)
+	}
 	if e, ok := srv.host.Peek(inst.pinName); ok {
 		e.SetLocked(false)
 	}
@@ -1080,11 +1211,12 @@ func (srv *Server) startCold(inst *Instance, p pending) {
 			map[string]any{"instance": inst.ID, "partitions": coldPlan.NumParts})
 	}
 	spec := engine.Spec{
-		Model:       inst.dep.Model,
-		Plan:        coldPlan,
-		Batch:       srv.cfg.Batch,
-		Primary:     inst.gpu,
-		Secondaries: secondaries,
+		Model:        inst.dep.Model,
+		Plan:         coldPlan,
+		Batch:        srv.cfg.Batch,
+		Primary:      inst.gpu,
+		Secondaries:  secondaries,
+		ComputeScale: srv.llmScale(inst.dep.Model, []pending{p}),
 		OnDone: func(res *engine.Result) {
 			inst.loading = false
 			inst.inflight--
@@ -1101,7 +1233,19 @@ func (srv *Server) startCold(inst *Instance, p pending) {
 				if inst.state == Warm {
 					srv.evict(inst)
 				}
-				srv.retryOrShed(inst, p)
+				// Warm arrivals that coalesced into the backlog while the
+				// load was in flight must be re-dispatched exactly like the
+				// warm abort path below, or they are stranded forever.
+				victims := append([]pending{p}, inst.backlog...)
+				inst.backlog = nil
+				for _, v := range victims {
+					srv.retryOrShed(inst, v)
+				}
+				srv.drainWaitlist()
+				return
+			}
+			if srv.cfg.LLM.Enabled {
+				srv.llmPrefillDone(inst, []pending{p}, res, true)
 				srv.drainWaitlist()
 				return
 			}
@@ -1123,11 +1267,30 @@ func (srv *Server) startCold(inst *Instance, p pending) {
 // execution stream. With dynamic batching enabled, requests arriving while
 // the instance is busy coalesce into its backlog instead.
 func (srv *Server) startWarm(inst *Instance, p pending) {
-	if srv.cfg.MaxBatch > 1 && inst.inflight > 0 {
+	if srv.effMaxBatch() > 1 && inst.inflight > 0 {
 		inst.backlog = append(inst.backlog, p)
 		return
 	}
 	srv.startWarmBatch(inst, []pending{p})
+}
+
+// effMaxBatch is the dynamic-batch ceiling. Static LLM batching coalesces
+// arrivals up to the token budget even when MaxBatch is off — run-to-
+// completion batches are the whole point of that baseline — while continuous
+// batching never coalesces prefills (sequences join the running decode batch
+// at iteration boundaries instead). Outside LLM mode this is Config.MaxBatch
+// unchanged.
+func (srv *Server) effMaxBatch() int {
+	if srv.cfg.LLM.Enabled {
+		if srv.cfg.LLM.Batching == LLMBatchStatic {
+			if srv.cfg.MaxBatch > srv.cfg.LLM.TokenBudget {
+				return srv.cfg.MaxBatch
+			}
+			return srv.cfg.LLM.TokenBudget
+		}
+		return 1
+	}
+	return srv.cfg.MaxBatch
 }
 
 // startWarmBatch issues one (possibly batched) warm inference.
@@ -1145,11 +1308,12 @@ func (srv *Server) startWarmBatch(inst *Instance, reqs []pending) {
 		}
 	}
 	spec := engine.Spec{
-		Model:   inst.dep.Model,
-		Plan:    inst.dep.Plan,
-		Batch:   srv.cfg.Batch * len(reqs),
-		Primary: inst.gpu,
-		Warm:    true,
+		Model:        inst.dep.Model,
+		Plan:         inst.dep.Plan,
+		Batch:        srv.cfg.Batch * len(reqs),
+		Primary:      inst.gpu,
+		Warm:         true,
+		ComputeScale: srv.llmScale(inst.dep.Model, reqs),
 		OnDone: func(res *engine.Result) {
 			inst.inflight--
 			srv.busyDown(gs)
@@ -1162,6 +1326,11 @@ func (srv *Server) startWarmBatch(inst *Instance, reqs []pending) {
 				for _, v := range victims {
 					srv.retryOrShed(inst, v)
 				}
+				srv.drainWaitlist()
+				return
+			}
+			if srv.cfg.LLM.Enabled {
+				srv.llmPrefillDone(inst, reqs, res, false)
 				srv.drainWaitlist()
 				return
 			}
@@ -1184,8 +1353,8 @@ func (srv *Server) releaseBacklog(inst *Instance) {
 		return
 	}
 	n := len(inst.backlog)
-	if n > srv.cfg.MaxBatch {
-		n = srv.cfg.MaxBatch
+	if max := srv.effMaxBatch(); n > max {
+		n = max
 	}
 	batch := inst.backlog[:n:n]
 	inst.backlog = inst.backlog[n:]
@@ -1309,6 +1478,9 @@ func (srv *Server) CheckInvariants() error {
 			if inst.block == nil {
 				return fmt.Errorf("serving: warm instance %d without a block", inst.ID)
 			}
+			if srv.cfg.LLM.PrefillDecode && inst.pdBlock == nil {
+				return fmt.Errorf("serving: warm instance %d has no decode replica", inst.ID)
+			}
 			if !srv.gpus[inst.gpu].residents[inst] {
 				return fmt.Errorf("serving: warm instance %d not in GPU %d residents", inst.ID, inst.gpu)
 			}
@@ -1325,6 +1497,9 @@ func (srv *Server) CheckInvariants() error {
 		case Cold:
 			if inst.block != nil {
 				return fmt.Errorf("serving: cold instance %d holds a block", inst.ID)
+			}
+			if inst.pdBlock != nil {
+				return fmt.Errorf("serving: cold instance %d holds a decode replica", inst.ID)
 			}
 			if inst.loading {
 				return fmt.Errorf("serving: cold instance %d marked loading", inst.ID)
@@ -1344,6 +1519,14 @@ func (srv *Server) CheckInvariants() error {
 	if err := srv.host.CheckInvariants(); err != nil {
 		return err
 	}
+	// Decode replicas live on a GPU whose residents map does not track them;
+	// sum them per device so the allocator check still balances.
+	pdUsed := make([]int64, len(srv.gpus))
+	for _, inst := range srv.instances {
+		if inst.pdBlock != nil {
+			pdUsed[inst.pdGPU] += inst.pdBlock.Size()
+		}
+	}
 	for _, gs := range srv.gpus {
 		var used int64
 		// deterministic: order-independent sum and membership checks.
@@ -1353,8 +1536,9 @@ func (srv *Server) CheckInvariants() error {
 			}
 			used += inst.dep.gpuBytes
 		}
+		used += pdUsed[gs.id] + gs.kv.ReservedBytes()
 		if used != gs.mem.Used() {
-			return fmt.Errorf("serving: GPU %d allocator used %d != resident sum %d",
+			return fmt.Errorf("serving: GPU %d allocator used %d != resident+decode+KV sum %d",
 				gs.id, gs.mem.Used(), used)
 		}
 		if err := gs.mem.CheckInvariants(); err != nil {
@@ -1380,6 +1564,18 @@ func (srv *Server) CheckInvariants() error {
 			if inst.fetching || len(inst.fetchWait) != 0 {
 				return fmt.Errorf("serving: instance %d left a fetch in flight (%d coalesced)",
 					inst.ID, len(inst.fetchWait))
+			}
+			if llm := inst.llm; llm != nil {
+				if llm.running || len(llm.active)+len(llm.joinq)+len(llm.kvwait)+len(llm.transfers) != 0 {
+					return fmt.Errorf("serving: instance %d left decode state (%d active, %d joining, %d kv-waiting, %d in transfer, running=%v)",
+						inst.ID, len(llm.active), len(llm.joinq), len(llm.kvwait), len(llm.transfers), llm.running)
+				}
+			}
+		}
+		for _, gs := range srv.gpus {
+			if gs.kv.Sequences() != 0 || gs.kv.ReservedBytes() != 0 {
+				return fmt.Errorf("serving: GPU %d holds %d KV reservations (%d bytes) at quiescence",
+					gs.id, gs.kv.Sequences(), gs.kv.ReservedBytes())
 			}
 		}
 		if len(srv.waitlist) != 0 {
@@ -1440,7 +1636,18 @@ type Report struct {
 	// GPUFailures counts GPU-failure fault windows that opened during the run.
 	GPUFailures  int
 	WarmCapacity int
-	PerWindow    []metrics.WindowStat
+	// Autoregressive-mode metrics, zero unless Config.LLM was enabled. In
+	// LLM mode the cold/warm digests (and per-window goodput) measure
+	// time-to-first-token, while the overall P50/P99/Mean/Max measure full
+	// end-to-end generation latency.
+	TTFTP50, TTFTP99 sim.Duration
+	TokensGenerated  int
+	TokenRate        float64 // generated tokens per simulated second
+	DecodeIters      int
+	MeanDecodeBatch  float64 // average sequences advanced per iteration
+	KVDeferred       int     // KV admission deferral events
+	KVTransfers      int     // prefill→decode KV handoffs
+	PerWindow        []metrics.WindowStat
 	// Telemetry is the windowed resource snapshot; nil unless
 	// Config.Telemetry was set.
 	Telemetry []metrics.TelemetryStat
@@ -1476,6 +1683,20 @@ func (srv *Server) report(n int) *Report {
 		GPUFailures:     srv.gpuFailures,
 		WarmCapacity:    srv.WarmCapacity(),
 		PerWindow:       srv.series.Stats(srv.sim.Now()),
+	}
+	if srv.cfg.LLM.Enabled {
+		r.TTFTP50 = srv.ttftDigest.P50()
+		r.TTFTP99 = srv.ttftDigest.P99()
+		r.TokensGenerated = srv.tokensGenerated
+		if secs := srv.sim.Now().Seconds(); secs > 0 {
+			r.TokenRate = float64(srv.tokensGenerated) / secs
+		}
+		r.DecodeIters = srv.decodeIters
+		if srv.decodeIters > 0 {
+			r.MeanDecodeBatch = float64(srv.decodeSeqSum) / float64(srv.decodeIters)
+		}
+		r.KVDeferred = srv.kvDeferred
+		r.KVTransfers = srv.kvTransfers
 	}
 	if srv.tel != nil {
 		r.Telemetry = srv.tel.Stats(srv.sim.Now())

@@ -19,10 +19,18 @@ import (
 	"deepplan/internal/sim"
 )
 
-// Request is one inference arrival.
+// Request is one inference arrival. PromptTokens/OutputTokens are zero for
+// the paper's single-shot workloads; the autoregressive serving mode fills
+// them via WithTokens, and a zero OutputTokens is served as one forward pass
+// exactly like before.
 type Request struct {
 	At       sim.Time
 	Instance int
+	// PromptTokens is the prompt length prefilled before the first token.
+	PromptTokens int
+	// OutputTokens is the total number of generated tokens (the first is
+	// produced by the prefill; the rest by decode iterations).
+	OutputTokens int
 }
 
 // Poisson generates an open-loop Poisson arrival process of the given total
@@ -85,6 +93,38 @@ func PoissonZipf(seed int64, ratePerSec float64, n, numInstances int, skew float
 			At:       sim.Time(t * 1e9),
 			Instance: inst,
 		})
+	}
+	return reqs
+}
+
+// WithTokens assigns prompt and output lengths to an existing arrival
+// sequence, in place, and returns it. Lengths are drawn i.i.d. from
+// exponential distributions around the given means — the long-tailed shape
+// production LLM traces show — clamped to [1, 4x mean] so a single freak
+// sequence cannot dominate a figure. The draw stream is independent of the
+// arrival-time stream (separate seed), so the same arrival process can be
+// replayed with different length mixes. Deterministic for a seed.
+func WithTokens(reqs []Request, seed int64, promptMean, outputMean int) []Request {
+	if promptMean < 1 {
+		promptMean = 1
+	}
+	if outputMean < 1 {
+		outputMean = 1
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x746f6b656e73)) // "tokens"
+	draw := func(mean int) int {
+		n := int(rng.ExpFloat64() * float64(mean))
+		if n < 1 {
+			n = 1
+		}
+		if max := 4 * mean; n > max {
+			n = max
+		}
+		return n
+	}
+	for i := range reqs {
+		reqs[i].PromptTokens = draw(promptMean)
+		reqs[i].OutputTokens = draw(outputMean)
 	}
 	return reqs
 }

@@ -383,3 +383,50 @@ func TestZipfWeightsMatchSampler(t *testing.T) {
 		}
 	}
 }
+
+func TestWithTokensIsDeterministicAndBounded(t *testing.T) {
+	a := WithTokens(Poisson(5, 100, 300, 4), 5, 128, 32)
+	b := WithTokens(Poisson(5, 100, 300, 4), 5, 128, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].PromptTokens < 1 || a[i].PromptTokens > 4*128 {
+			t.Fatalf("prompt %d out of [1, 512]", a[i].PromptTokens)
+		}
+		if a[i].OutputTokens < 1 || a[i].OutputTokens > 4*32 {
+			t.Fatalf("output %d out of [1, 128]", a[i].OutputTokens)
+		}
+	}
+	// Arrival process untouched: times and routing match the raw draw.
+	raw := Poisson(5, 100, 300, 4)
+	for i := range a {
+		if a[i].At != raw[i].At || a[i].Instance != raw[i].Instance {
+			t.Fatalf("request %d arrival perturbed", i)
+		}
+	}
+	// The token stream is seed-independent of the arrival stream: a
+	// different token seed changes lengths but not arrivals.
+	c := WithTokens(Poisson(5, 100, 300, 4), 6, 128, 32)
+	same := true
+	for i := range a {
+		if a[i].PromptTokens != c[i].PromptTokens || a[i].OutputTokens != c[i].OutputTokens {
+			same = false
+		}
+		if a[i].At != c[i].At {
+			t.Fatalf("token seed perturbed arrivals at %d", i)
+		}
+	}
+	if same {
+		t.Fatal("different token seeds drew identical lengths")
+	}
+}
+
+func TestWithTokensClampsDegenerateMeans(t *testing.T) {
+	reqs := WithTokens(Poisson(1, 50, 20, 2), 1, 0, -3)
+	for i, r := range reqs {
+		if r.PromptTokens < 1 || r.OutputTokens < 1 {
+			t.Fatalf("request %d: non-positive lengths %d/%d", i, r.PromptTokens, r.OutputTokens)
+		}
+	}
+}
