@@ -13,6 +13,7 @@ import (
 	"deepplan"
 	"deepplan/internal/dnn"
 	"deepplan/internal/experiments"
+	"deepplan/internal/forecast"
 	"deepplan/internal/forward"
 	"deepplan/internal/hostmem"
 	"deepplan/internal/monitor"
@@ -378,6 +379,35 @@ func BenchmarkZooPinnedCacheLookup(b *testing.B) {
 			b.Fatal("miss on resident entry")
 		}
 		c.Touch(e, sim.Time(i))
+	}
+}
+
+// BenchmarkForecastObserve measures the predictive autoscaler's per-request
+// hot path: one arrival observation on the bucket ring, advancing virtual
+// time so ring rotation (the amortized part) is included. Steady state must
+// stay at 0 allocs/op — the ring is sized at construction and Observe is
+// integer bucket arithmetic only (gated by scripts/bench_compare.sh).
+func BenchmarkForecastObserve(b *testing.B) {
+	f := forecast.New(forecast.Config{Window: sim.Second})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(sim.Time(i) * sim.Time(sim.Millisecond))
+	}
+}
+
+// TestForecastObserveAddsNoAllocations pins the allocation-free contract
+// the benchmark above measures, so it fails fast under plain `go test`
+// instead of only under the bench gate.
+func TestForecastObserveAddsNoAllocations(t *testing.T) {
+	f := forecast.New(forecast.Config{Window: sim.Second})
+	now := sim.Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Time(sim.Millisecond)
+		f.Observe(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("forecast.Observe allocated %.1f per run; want 0", allocs)
 	}
 }
 

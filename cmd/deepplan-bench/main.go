@@ -43,6 +43,7 @@ func main() {
 	zooPolicy := flag.String("zoo-policy", "", "fig-zoo: host-cache policy (lru | cost); empty compares both")
 	llm := flag.String("llm", "", "fig-llm: batching discipline (continuous | static); empty compares both")
 	prefillDecode := flag.Bool("prefill-decode", false, "fig-llm: disaggregate prefill and decode GPUs")
+	autoscalePolicy := flag.String("autoscale-policy", "", "fig-forecast: controller (reactive | predictive); empty compares both")
 	flag.Parse()
 
 	if *tracePath != "" && *exp == "all" {
@@ -63,7 +64,7 @@ func main() {
 
 	opts := experiments.Options{Quick: *quick, TracePath: *tracePath, MetricsPath: *metricsPath,
 		Telemetry: *telemetry, ParallelSim: *parallelSim, ZooN: *zoo, ZooPolicy: *zooPolicy,
-		LLMBatching: *llm, PrefillDecode: *prefillDecode}
+		LLMBatching: *llm, PrefillDecode: *prefillDecode, AutoscalePolicy: *autoscalePolicy}
 	pool := 1
 	if *parallel {
 		pool = runner.Workers(*workers)

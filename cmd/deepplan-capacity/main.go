@@ -10,8 +10,13 @@
 //
 //	deepplan-capacity [-slo 300ms] [-target-rps 100] [-budget 15]
 //	                  [-workload poisson|maf] [-skew 1.0]
+//	                  [-autoscale [-autoscale-policy reactive|predictive]]
 //	                  [-json] [-quick] [-parallel [-workers N]] [-parallel-sim]
 //	                  [-metrics out.prom]
+//
+// -autoscale adds autoscaled variants of every grid entry, one per replica
+// controller (reactive and forecast-driven predictive, billed by
+// replica-seconds); -autoscale-policy pins that axis to one controller.
 //
 // -metrics re-runs the recommended configuration at its sustained rate with
 // the monitoring stack attached (dimensional registry + SLO burn-rate
@@ -34,6 +39,7 @@ import (
 	"time"
 
 	"deepplan/internal/capacity"
+	"deepplan/internal/cluster"
 	"deepplan/internal/experiments/runner"
 	"deepplan/internal/monitor"
 	"deepplan/internal/sim"
@@ -53,6 +59,7 @@ func main() {
 	maxRate := flag.Int("max-rate", 640, "upper bound of the saturation search (rps)")
 	step := flag.Int("step", 20, "saturation search resolution (rps)")
 	autoscale := flag.Bool("autoscale", false, "also search autoscaled variants (replica-second billing)")
+	autoscalePolicy := flag.String("autoscale-policy", "", "with -autoscale: pin the controller to reactive or predictive (empty searches both)")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON instead of the table")
 	quick := flag.Bool("quick", false, "shrink the search for a fast smoke pass")
 	parallel := flag.Bool("parallel", false, "saturate independent grid points concurrently")
@@ -63,7 +70,7 @@ func main() {
 	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for -zoo: lru | cost (default lru)")
 	flag.Parse()
 
-	if err := checkFlags(*zoo, *autoscale); err != nil {
+	if err := checkFlags(*zoo, *autoscale, *autoscalePolicy); err != nil {
 		fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
 		os.Exit(1)
 	}
@@ -93,6 +100,19 @@ func main() {
 	space := capacity.DefaultSpace()
 	if *autoscale {
 		space.Autoscale = []bool{false, true}
+		// Each autoscaled grid entry is probed once per controller; -autoscale-policy
+		// pins the list to a single algorithm.
+		space.AutoscalePolicies = []cluster.AutoscalePolicy{
+			cluster.AutoscaleReactive, cluster.AutoscalePredictive,
+		}
+		if *autoscalePolicy != "" {
+			pol, err := cluster.ParseAutoscalePolicy(*autoscalePolicy)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deepplan-capacity: %v\n", err)
+				os.Exit(1)
+			}
+			space.AutoscalePolicies = []cluster.AutoscalePolicy{pol}
+		}
 	}
 
 	pool := 1
@@ -169,11 +189,18 @@ func describeAlerts(alerts []monitor.Alert) string {
 
 // checkFlags rejects flag combinations the planner cannot search: a zoo's
 // tenants are fixed identities, so the autoscaled half of the grid would
-// probe configurations that cannot exist. Fail fast before the sweep
+// probe configurations that cannot exist, and an autoscale policy pins a
+// controller that must actually be in the grid. Fail fast before the sweep
 // instead of wasting the whole saturation search.
-func checkFlags(zoo int, autoscale bool) error {
+func checkFlags(zoo int, autoscale bool, autoscalePolicy string) error {
 	if zoo > 0 && autoscale {
 		return fmt.Errorf("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
+	}
+	if _, err := cluster.ParseAutoscalePolicy(autoscalePolicy); err != nil {
+		return err
+	}
+	if autoscalePolicy != "" && !autoscale {
+		return fmt.Errorf("-autoscale-policy %s pins the autoscaled grid entries; it needs -autoscale", autoscalePolicy)
 	}
 	return nil
 }

@@ -8,17 +8,37 @@ import (
 // The planner must reject -zoo with -autoscale up front: the autoscaled
 // half of the search space is meaningless for fixed-identity tenants.
 func TestCheckFlagsRejectsZooAutoscale(t *testing.T) {
-	if err := checkFlags(0, true); err != nil {
+	if err := checkFlags(0, true, ""); err != nil {
 		t.Fatalf("plain -autoscale rejected: %v", err)
 	}
-	if err := checkFlags(50, false); err != nil {
+	if err := checkFlags(50, false, ""); err != nil {
 		t.Fatalf("plain -zoo rejected: %v", err)
 	}
-	err := checkFlags(50, true)
+	err := checkFlags(50, true, "")
 	if err == nil {
 		t.Fatal("-zoo with -autoscale accepted")
 	}
 	if !strings.Contains(err.Error(), "autoscale") {
 		t.Fatalf("error does not name the conflicting flag: %v", err)
+	}
+}
+
+// -autoscale-policy pins an axis that only exists when -autoscale put it in
+// the grid, and only known controllers are searchable.
+func TestCheckFlagsAutoscalePolicy(t *testing.T) {
+	for _, pol := range []string{"reactive", "predictive"} {
+		if err := checkFlags(0, true, pol); err != nil {
+			t.Fatalf("-autoscale -autoscale-policy %s rejected: %v", pol, err)
+		}
+	}
+	err := checkFlags(0, false, "predictive")
+	if err == nil {
+		t.Fatal("-autoscale-policy predictive without -autoscale accepted")
+	}
+	if !strings.Contains(err.Error(), "-autoscale") {
+		t.Fatalf("error does not point at the missing flag: %v", err)
+	}
+	if err := checkFlags(0, true, "oracle"); err == nil {
+		t.Fatal("unknown autoscale policy accepted")
 	}
 }

@@ -10,6 +10,15 @@
 //	deepplan-server -policy pt+dha -instances 140 -trace run.json -telemetry
 //	deepplan-server -policy dha -instances 140 -admit 1.5 \
 //	    -faults "gpu=1@2s+3s; link=gpu0-lane*0.4@1s+4s"
+//	deepplan-server -nodes 2 -autoscale -autoscale-policy predictive \
+//	    -route affinity -instances 32 -rate 120
+//
+// -autoscale-policy picks the replica controller's algorithm: reactive (the
+// default) widens a model only after observed queueing, while predictive
+// forecasts each model's arrival rate from its history, prewarms replicas
+// ahead of predicted spikes, and puts idle replicas to sleep in host memory
+// (GPU memory freed, pinned copy kept) between them. It requires
+// -autoscale.
 //
 // -trace writes the run's full timeline (request lifecycle, per-layer
 // streams, PCIe/NVLink bandwidth, memory occupancy) as Chrome trace-event
@@ -69,7 +78,8 @@ func main() {
 	metricsEvery := flag.Duration("metrics-interval", 0, "cluster mode: also append a registry snapshot every interval of sim time (0 = final snapshot only)")
 	nodes := flag.Int("nodes", 1, "cluster mode: number of serving nodes (>1 enables the multi-node router)")
 	route := flag.String("route", "least-outstanding", "cluster routing policy: round-robin | least-outstanding | affinity")
-	autoscale := flag.Bool("autoscale", false, "cluster mode: reactive per-model replica autoscaling from a 1-replica floor")
+	autoscale := flag.Bool("autoscale", false, "cluster mode: per-model replica autoscaling from a 1-replica floor")
+	autoscalePolicy := flag.String("autoscale-policy", "", "with -autoscale: reactive | predictive (forecast-driven prewarm/sleep; default reactive)")
 	parallelSim := flag.Bool("parallel-sim", false, "cluster mode: per-node event queues on separate goroutines (byte-identical output)")
 	zoo := flag.Int("zoo", 0, "deploy an N-variant model zoo (tenants with Zipf popularity) instead of -model/-instances")
 	zooPolicy := flag.String("zoo-policy", "", "host-memory cache policy for the zoo: pinned | lru | cost (default lru with -zoo)")
@@ -87,11 +97,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	if err := modeConflicts(*zoo, *autoscale, *maf, llm); err != nil {
+	if err := modeConflicts(*zoo, *autoscale, *autoscalePolicy, *maf, llm); err != nil {
 		fail("%v", err)
 	}
 	if *nodes > 1 || *autoscale || *parallelSim {
-		runCluster(*nodes, *route, *autoscale, *parallelSim, *policy, *modelName,
+		runCluster(*nodes, *route, *autoscale, *autoscalePolicy, *parallelSim, *policy, *modelName,
 			*instances, *rate, *requests, *sloMs, *maxBatch, *seed, *maf,
 			*faultSpec, *admit, *tracePath, *telemetry,
 			*metricsPath, deepplan.Duration(*metricsEvery), *zoo, *zooPolicy,
@@ -326,7 +336,7 @@ func writeMetrics(path string, reg *deepplan.MetricsRegistry) {
 // controller). The model is replicated on every node. With parallelSim the
 // nodes run on separate goroutines under conservative lookahead instead of
 // one shared clock; the printed report is byte-identical either way.
-func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, modelName string,
+func runCluster(nodes int, route string, autoscale bool, autoscalePolicy string, parallelSim bool, policy, modelName string,
 	instances int, rate float64, requests, sloMs, maxBatch int, seed int64,
 	maf bool, faultSpec string, admit float64, tracePath string, telemetry bool,
 	metricsPath string, metricsEvery deepplan.Duration, zoo int, zooPolicy string,
@@ -365,12 +375,16 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 	}
 	platform := deepplan.NewP38xlarge()
 	copts := deepplan.ClusterOptions{
-		Nodes:           nodes,
-		Policy:          deepplan.Mode(policy),
-		Route:           deepplan.RoutePolicy(route),
-		SLO:             deepplan.Duration(sloMs) * sim.Millisecond,
-		MaxBatch:        maxBatch,
-		Autoscale:       deepplan.AutoscaleConfig{Enabled: autoscale, Interval: sim.Second},
+		Nodes:    nodes,
+		Policy:   deepplan.Mode(policy),
+		Route:    deepplan.RoutePolicy(route),
+		SLO:      deepplan.Duration(sloMs) * sim.Millisecond,
+		MaxBatch: maxBatch,
+		Autoscale: deepplan.AutoscaleConfig{
+			Enabled:  autoscale,
+			Interval: sim.Second,
+			Policy:   deepplan.AutoscalePolicy(autoscalePolicy),
+		},
 		Trace:           rec,
 		Telemetry:       telemetry,
 		Faults:          sched,
@@ -478,6 +492,10 @@ func runCluster(nodes int, route string, autoscale, parallelSim bool, policy, mo
 			fmt.Printf("autoscale:     %s: %d ups, %d downs; %d of %d replicas active\n",
 				rs.Model, rep.ScaleUps, rep.ScaleDowns, rs.Active, rs.Max)
 		}
+		if deepplan.AutoscalePolicy(autoscalePolicy) == deepplan.AutoscalePredictive {
+			fmt.Printf("lifecycle:     %d prewarms, %d wakes, %d sleeps, %d swap-ins\n",
+				rep.Prewarms, rep.Wakes, rep.Sleeps, rep.SwapIns)
+		}
 	}
 	fmt.Printf("\nper-node:      %-6s %9s %7s %9s %6s\n", "node", "routed", "colds", "p99(ms)", "shed")
 	for _, ns := range rep.PerNode {
@@ -552,11 +570,18 @@ func llmOptions(mode string, prefillDecode bool, tokenBudget int) (deepplan.LLMO
 
 // modeConflicts rejects flag combinations whose semantics do not compose,
 // before any deployment work starts: zoo tenants have fixed identities so
-// the autoscaler does not apply, the MAF trace carries no token
-// annotations, and a zoo mixes vision variants that cannot decode.
-func modeConflicts(zoo int, autoscale, maf bool, llm deepplan.LLMOptions) error {
+// the autoscaler does not apply, an autoscale policy steers a controller
+// that must actually be on, the MAF trace carries no token annotations, and
+// a zoo mixes vision variants that cannot decode.
+func modeConflicts(zoo int, autoscale bool, autoscalePolicy string, maf bool, llm deepplan.LLMOptions) error {
 	if zoo > 0 && autoscale {
 		return fmt.Errorf("-zoo tenants are fixed identities; the autoscaler does not apply (drop -autoscale)")
+	}
+	if _, err := deepplan.ParseAutoscalePolicy(autoscalePolicy); err != nil {
+		return err
+	}
+	if autoscalePolicy != "" && !autoscale {
+		return fmt.Errorf("-autoscale-policy %s steers the replica controller; it needs -autoscale", autoscalePolicy)
 	}
 	if llm.Enabled && maf {
 		return fmt.Errorf("-llm needs token-annotated Poisson workloads; -maf traces carry none")

@@ -31,13 +31,13 @@ func TestLLMOptionsValidation(t *testing.T) {
 // -zoo and -autoscale must fail fast with an actionable message instead of
 // deploying a zoo the autoscaler cannot manage.
 func TestModeConflicts(t *testing.T) {
-	if err := modeConflicts(0, true, false, deepplan.LLMOptions{}); err != nil {
+	if err := modeConflicts(0, true, "", false, deepplan.LLMOptions{}); err != nil {
 		t.Fatalf("plain autoscale rejected: %v", err)
 	}
-	if err := modeConflicts(100, false, false, deepplan.LLMOptions{}); err != nil {
+	if err := modeConflicts(100, false, "", false, deepplan.LLMOptions{}); err != nil {
 		t.Fatalf("plain zoo rejected: %v", err)
 	}
-	err := modeConflicts(100, true, false, deepplan.LLMOptions{})
+	err := modeConflicts(100, true, "", false, deepplan.LLMOptions{})
 	if err == nil {
 		t.Fatal("-zoo with -autoscale accepted")
 	}
@@ -45,10 +45,30 @@ func TestModeConflicts(t *testing.T) {
 		t.Fatalf("error does not name the conflicting flag: %v", err)
 	}
 	llm := deepplan.LLMOptions{Enabled: true}
-	if err := modeConflicts(0, false, true, llm); err == nil {
+	if err := modeConflicts(0, false, "", true, llm); err == nil {
 		t.Fatal("-llm with -maf accepted")
 	}
-	if err := modeConflicts(100, false, false, llm); err == nil {
+	if err := modeConflicts(100, false, "", false, llm); err == nil {
 		t.Fatal("-llm with -zoo accepted")
+	}
+}
+
+// -autoscale-policy steers a controller that must actually be enabled, and
+// only known spellings are controllers.
+func TestAutoscalePolicyFlagValidation(t *testing.T) {
+	for _, pol := range []string{"reactive", "predictive"} {
+		if err := modeConflicts(0, true, pol, false, deepplan.LLMOptions{}); err != nil {
+			t.Fatalf("-autoscale -autoscale-policy %s rejected: %v", pol, err)
+		}
+	}
+	err := modeConflicts(0, false, "predictive", false, deepplan.LLMOptions{})
+	if err == nil {
+		t.Fatal("-autoscale-policy predictive without -autoscale accepted")
+	}
+	if !strings.Contains(err.Error(), "-autoscale") {
+		t.Fatalf("error does not point at the missing flag: %v", err)
+	}
+	if err := modeConflicts(0, true, "oracle", false, deepplan.LLMOptions{}); err == nil {
+		t.Fatal("unknown autoscale policy accepted")
 	}
 }

@@ -21,6 +21,13 @@
 // separately, resolved through the trace's process-name metadata — the
 // fastest way to see which node a fault schedule or a routing imbalance
 // actually hit.
+//
+// Traces from a predictive-autoscaled run (deepplan-server -autoscale
+// -autoscale-policy predictive -trace) additionally get a per-model
+// lifecycle table: replaying the "state <model>" transition instants shows
+// how long each model's replicas spent warm on a GPU, sleeping in host
+// memory, or swapped out, next to the controller's prewarm/wake/sleep/
+// swap-in actuation counts.
 package main
 
 import (
@@ -39,6 +46,7 @@ type event struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Pid  int            `json:"pid"`
+	TS   float64        `json:"ts"` // microseconds, Chrome trace convention
 	Args map[string]any `json:"args"`
 }
 
@@ -108,6 +116,14 @@ func main() {
 
 	classes := map[string]*breakdown{}
 	instants := map[string]int{}
+	// Lifecycle reconstruction: "state <model>" instants carry the full
+	// transition (instance, from, to), so replaying them per instance yields
+	// the time each replica spent warm, sleeping in host memory, or swapped
+	// out; the actuation instants (prewarm/wake/sleep/swap-in) give the
+	// per-model counts.
+	lifeSpans := map[string]map[float64][]transition{} // model -> instance -> transitions
+	lifeCounts := map[string]map[string]int{}          // model -> verb -> count
+	var lastTS float64
 	type nodeAgg struct {
 		classes  map[string]*breakdown
 		instants map[string]int
@@ -126,6 +142,9 @@ func main() {
 		return na
 	}
 	for _, e := range tf.TraceEvents {
+		if e.Ph != "M" && e.TS > lastTS {
+			lastTS = e.TS
+		}
 		switch e.Ph {
 		case "b":
 			class, ok := e.Args["class"].(string)
@@ -150,10 +169,32 @@ func main() {
 			}
 		case "i":
 			// Serving instants are named "<verb> <model>"; tally by verb.
-			verb, _, _ := strings.Cut(e.Name, " ")
+			verb, model, _ := strings.Cut(e.Name, " ")
 			instants[verb]++
 			if na := forNode(e); na != nil {
 				na.instants[verb]++
+			}
+			switch verb {
+			case "state":
+				inst, ok := e.Args["instance"].(float64)
+				from, okF := e.Args["from"].(string)
+				to, okT := e.Args["to"].(string)
+				if !ok || !okF || !okT {
+					continue
+				}
+				m := lifeSpans[model]
+				if m == nil {
+					m = map[float64][]transition{}
+					lifeSpans[model] = m
+				}
+				m[inst] = append(m[inst], transition{e.TS, from, to})
+			case "prewarm", "wake", "sleep", "swap-in", "swap-out":
+				c := lifeCounts[model]
+				if c == nil {
+					c = map[string]int{}
+					lifeCounts[model] = c
+				}
+				c[verb]++
 			}
 		}
 	}
@@ -187,8 +228,8 @@ func main() {
 
 	var verbs []string
 	for v := range instants {
-		if v == "drain" || v == "batch" || v == "cold" {
-			continue // cold starts are already the "cold" class above
+		if v == "drain" || v == "batch" || v == "cold" || v == "state" {
+			continue // cold starts are the "cold" class; states get their own table
 		}
 		verbs = append(verbs, v)
 	}
@@ -199,6 +240,10 @@ func main() {
 			fmt.Printf(" %s=%d", v, instants[v])
 		}
 		fmt.Println()
+	}
+
+	if len(lifeSpans) > 0 {
+		printLifecycle(lifeSpans, lifeCounts, lastTS)
 	}
 
 	if *byNode {
@@ -235,7 +280,7 @@ func main() {
 			na := nodes[n]
 			var nv []string
 			for v := range na.instants {
-				if v == "drain" || v == "batch" || v == "cold" {
+				if v == "drain" || v == "batch" || v == "cold" || v == "state" {
 					continue
 				}
 				nv = append(nv, v)
@@ -250,6 +295,49 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// transition is one "state <model>" instant replayed during lifecycle
+// reconstruction.
+type transition struct {
+	ts       float64 // microseconds
+	from, to string
+}
+
+// printLifecycle renders the per-model lifecycle breakdown: how long the
+// model's replicas spent in each non-cold state (summed across replicas,
+// with intervals still open at the end of the trace closed at its last
+// event) and how often the predictive controller actuated them. Only
+// replicas that transitioned at least once appear; a replica that stayed
+// cold for the whole run has no lifecycle to report.
+func printLifecycle(spans map[string]map[float64][]transition,
+	counts map[string]map[string]int, lastTS float64) {
+	models := make([]string, 0, len(spans))
+	for m := range spans {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	fmt.Printf("\nper-model lifecycle (replica-seconds per state):\n")
+	fmt.Printf("%-24s %8s %8s %8s %8s  %8s %6s %6s %8s\n",
+		"model", "replicas", "warm(s)", "sleep(s)", "swap(s)",
+		"prewarms", "wakes", "sleeps", "swap-ins")
+	for _, m := range models {
+		inState := map[string]float64{} // state name -> microseconds
+		for _, trs := range spans[m] {
+			sort.Slice(trs, func(i, j int) bool { return trs[i].ts < trs[j].ts })
+			cur, curTS := trs[0].from, 0.0
+			for _, tr := range trs {
+				inState[cur] += tr.ts - curTS
+				cur, curTS = tr.to, tr.ts
+			}
+			inState[cur] += lastTS - curTS
+		}
+		c := counts[m]
+		fmt.Printf("%-24s %8d %8.1f %8.1f %8.1f  %8d %6d %6d %8d\n",
+			m, len(spans[m]),
+			inState["warm"]/1e6, inState["sleeping"]/1e6, inState["swapped"]/1e6,
+			c["prewarm"], c["wake"], c["sleep"], c["swap-in"])
 	}
 }
 

@@ -43,10 +43,10 @@ import (
 	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
 	"deepplan/internal/monitor"
-	"deepplan/internal/registry"
 	"deepplan/internal/plan"
 	"deepplan/internal/planner"
 	"deepplan/internal/profiler"
+	"deepplan/internal/registry"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -448,9 +448,27 @@ type (
 	ClusterReport = cluster.Report
 	// RoutePolicy selects the front-end routing policy.
 	RoutePolicy = cluster.RoutePolicy
-	// AutoscaleConfig tunes the reactive per-model replica controller.
+	// AutoscaleConfig tunes the per-model replica controller.
 	AutoscaleConfig = cluster.AutoscaleConfig
+	// AutoscalePolicy selects the autoscaler's control algorithm.
+	AutoscalePolicy = cluster.AutoscalePolicy
 )
+
+// Autoscaler control algorithms for AutoscaleConfig.Policy.
+const (
+	// AutoscaleReactive widens a model after observed queueing and narrows
+	// it after observed idleness (the default).
+	AutoscaleReactive = cluster.AutoscaleReactive
+	// AutoscalePredictive sizes each model from an arrival forecast,
+	// prewarming replicas before predicted spikes and sleeping idle ones.
+	AutoscalePredictive = cluster.AutoscalePredictive
+)
+
+// ParseAutoscalePolicy maps a CLI spelling ("reactive", "predictive"; ""
+// means reactive) to an AutoscalePolicy.
+func ParseAutoscalePolicy(s string) (AutoscalePolicy, error) {
+	return cluster.ParseAutoscalePolicy(s)
+}
 
 // Routing policies for ClusterOptions.Route.
 const (
@@ -474,7 +492,8 @@ type ClusterOptions struct {
 	SLO Duration
 	// MaxBatch enables per-node dynamic batching of warm requests.
 	MaxBatch int
-	// Autoscale configures the reactive replica controller.
+	// Autoscale configures the per-model replica controller; its Policy
+	// field picks the reactive or predictive control algorithm.
 	Autoscale AutoscaleConfig
 	// Trace, when non-nil, records all nodes onto one timeline with
 	// per-node Perfetto track groups. Export with WriteTrace.

@@ -55,9 +55,13 @@ type Point struct {
 	Route cluster.RoutePolicy `json:"route"`
 	// MaxBatch is the per-node dynamic-batching limit (1 disables).
 	MaxBatch int `json:"max_batch"`
-	// Autoscale runs the reactive replica controller from a 1-replica
-	// floor; billing is then prorated by replica-seconds.
+	// Autoscale runs the replica controller from a 1-replica floor;
+	// billing is then prorated by replica-seconds.
 	Autoscale bool `json:"autoscale"`
+	// AutoscalePolicy selects the controller algorithm for autoscaled
+	// points (reactive or predictive); empty means reactive. Meaningless
+	// — and normalized to empty — when Autoscale is false.
+	AutoscalePolicy cluster.AutoscalePolicy `json:"autoscale_policy,omitempty"`
 }
 
 // String renders the point as a compact single-line label.
@@ -65,6 +69,9 @@ func (p Point) String() string {
 	s := fmt.Sprintf("%s x%d %s %s mb%d", p.Topology, p.Nodes, p.Policy, p.Route, p.MaxBatch)
 	if p.Autoscale {
 		s += " auto"
+		if p.AutoscalePolicy == cluster.AutoscalePredictive {
+			s += "/pred"
+		}
 	}
 	return s
 }
@@ -85,6 +92,10 @@ type Space struct {
 	Routes     []cluster.RoutePolicy `json:"routes"`
 	MaxBatches []int                 `json:"max_batches"`
 	Autoscale  []bool                `json:"autoscale"`
+	// AutoscalePolicies expands each autoscaled grid entry into one point
+	// per controller algorithm; empty means reactive only. Non-autoscaled
+	// entries are never expanded (the policy is meaningless there).
+	AutoscalePolicies []cluster.AutoscalePolicy `json:"autoscale_policies,omitempty"`
 }
 
 // DefaultSpace is the grid deepplan-capacity and fig-capacity search by
@@ -103,9 +114,15 @@ func DefaultSpace() Space {
 }
 
 // Points enumerates the grid in a fixed nesting order (topology, nodes,
-// policy, route, max-batch, autoscale) — the order every sweep, table, and
-// byte-identity guarantee is defined over.
+// policy, route, max-batch, autoscale, autoscale-policy) — the order every
+// sweep, table, and byte-identity guarantee is defined over. Autoscale
+// policies only multiply autoscaled entries, so grids without predictive
+// candidates enumerate exactly as before.
 func (s Space) Points() []Point {
+	asPolicies := s.AutoscalePolicies
+	if len(asPolicies) == 0 {
+		asPolicies = []cluster.AutoscalePolicy{cluster.AutoscaleReactive}
+	}
 	var out []Point
 	for _, topo := range s.Topologies {
 		for _, n := range s.Nodes {
@@ -113,10 +130,23 @@ func (s Space) Points() []Point {
 				for _, rt := range s.Routes {
 					for _, mb := range s.MaxBatches {
 						for _, as := range s.Autoscale {
-							out = append(out, Point{
-								Topology: topo, Nodes: n, Policy: pol,
-								Route: rt, MaxBatch: mb, Autoscale: as,
-							})
+							if !as {
+								out = append(out, Point{
+									Topology: topo, Nodes: n, Policy: pol,
+									Route: rt, MaxBatch: mb,
+								})
+								continue
+							}
+							for _, ap := range asPolicies {
+								if ap == cluster.AutoscaleReactive {
+									ap = "" // normalized: reactive is the zero policy
+								}
+								out = append(out, Point{
+									Topology: topo, Nodes: n, Policy: pol,
+									Route: rt, MaxBatch: mb, Autoscale: true,
+									AutoscalePolicy: ap,
+								})
+							}
 						}
 					}
 				}
@@ -328,7 +358,9 @@ func evaluateMonitored(pt Point, spec SearchSpec, rate int, reg *monitor.Registr
 	}
 	var as cluster.AutoscaleConfig
 	if pt.Autoscale {
-		as = cluster.AutoscaleConfig{Enabled: true, Interval: sim.Second}
+		as = cluster.AutoscaleConfig{
+			Enabled: true, Interval: sim.Second, Policy: pt.AutoscalePolicy,
+		}
 	}
 	ccfg := cluster.Config{
 		Nodes:       pt.Nodes,

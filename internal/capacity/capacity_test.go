@@ -294,3 +294,67 @@ func TestAnalyzeGapBaselineUnsustainable(t *testing.T) {
 		t.Fatalf("table must flag the unsustainable baseline:\n%s", tbl.String())
 	}
 }
+
+func TestPointsAutoscalePolicyAxis(t *testing.T) {
+	s := Space{
+		Topologies:        []string{"p3.8xlarge"},
+		Nodes:             []int{1},
+		Policies:          []serving.Policy{serving.PolicyDHA},
+		Routes:            []cluster.RoutePolicy{cluster.RouteLeastOutstanding},
+		MaxBatches:        []int{1},
+		Autoscale:         []bool{false, true},
+		AutoscalePolicies: []cluster.AutoscalePolicy{cluster.AutoscaleReactive, cluster.AutoscalePredictive},
+	}
+	pts := s.Points()
+	// Policies multiply only the autoscaled entry: 1 fixed + 2 autoscaled.
+	if len(pts) != 3 {
+		t.Fatalf("Points() = %d points, want 3 (fixed + reactive + predictive)", len(pts))
+	}
+	if pts[0].Autoscale || pts[0].AutoscalePolicy != "" {
+		t.Fatalf("non-autoscaled point carries a policy: %+v", pts[0])
+	}
+	if !pts[1].Autoscale || pts[1].AutoscalePolicy != "" {
+		t.Fatalf("reactive point not normalized to the empty policy: %+v", pts[1])
+	}
+	if !pts[2].Autoscale || pts[2].AutoscalePolicy != cluster.AutoscalePredictive {
+		t.Fatalf("predictive point missing: %+v", pts[2])
+	}
+	if got := pts[2].String(); !strings.Contains(got, "auto/pred") {
+		t.Fatalf("predictive point label %q does not mark the policy", got)
+	}
+	// An empty policy list keeps legacy grids identical: one point per
+	// autoscale flag, no policy set.
+	s.AutoscalePolicies = nil
+	if pts = s.Points(); len(pts) != 2 || pts[1].AutoscalePolicy != "" {
+		t.Fatalf("legacy grid changed shape: %d points, %+v", len(pts), pts[len(pts)-1])
+	}
+}
+
+// TestSaturatePredictivePoint is the planner half of the acceptance
+// criterion: a predictive autoscale point must be evaluable end to end, so
+// a grid containing it can surface a predictive recommendation.
+func TestSaturatePredictivePoint(t *testing.T) {
+	pt := Point{Topology: "dual-a5000-pcie4", Nodes: 1, Policy: serving.PolicyDHA,
+		Route: cluster.RouteLeastOutstanding, MaxBatch: 1, Autoscale: true,
+		AutoscalePolicy: cluster.AutoscalePredictive}
+	spec := SearchSpec{
+		SLO:      sim.Second,
+		Duration: 4 * sim.Second,
+		Replicas: 16,
+		MinRate:  5,
+		MaxRate:  10,
+		Step:     5,
+	}
+	r, err := Saturate(pt, spec, DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SustainedRPS <= 0 {
+		t.Fatalf("predictive point sustained %d rps, want > 0", r.SustainedRPS)
+	}
+	full := DefaultPricing()["dual-a5000-pcie4"]
+	if r.Utilization <= 0 || r.CostPerHour >= full {
+		t.Fatalf("predictive autoscaled cost not prorated: util %v cost %.2f (full %.2f)",
+			r.Utilization, r.CostPerHour, full)
+	}
+}

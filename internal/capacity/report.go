@@ -35,16 +35,16 @@ type Gap struct {
 // Pareto marking, the cheapest configuration meeting the target, and the
 // DeepPlan-vs-PipeSwitch gaps.
 type Plan struct {
-	SLOMs         float64  `json:"slo_ms"`
-	GoodputTarget float64  `json:"goodput_target"`
-	Workload      string   `json:"workload"`
-	Model         string   `json:"model"`
-	Replicas      int      `json:"replicas_per_node"`
+	SLOMs         float64 `json:"slo_ms"`
+	GoodputTarget float64 `json:"goodput_target"`
+	Workload      string  `json:"workload"`
+	Model         string  `json:"model"`
+	Replicas      int     `json:"replicas_per_node"`
 	// Zoo/ZooPolicy echo the model-zoo deployment when the search planned
 	// for one (Zoo > 0); Model/Replicas are ignored in that mode.
-	Zoo       int    `json:"zoo,omitempty"`
-	ZooPolicy string `json:"zoo_policy,omitempty"`
-	TargetRPS int    `json:"target_rps"`
+	Zoo           int      `json:"zoo,omitempty"`
+	ZooPolicy     string   `json:"zoo_policy,omitempty"`
+	TargetRPS     int      `json:"target_rps"`
 	BudgetPerHour float64  `json:"budget_per_hour"`
 	Results       []Result `json:"results"`
 	// Recommendation is the cheapest config sustaining TargetRPS inside

@@ -39,12 +39,14 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
 	"deepplan/internal/faults"
+	"deepplan/internal/forecast"
 	"deepplan/internal/hostmem"
 	"deepplan/internal/metrics"
 	"deepplan/internal/monitor"
@@ -66,27 +68,67 @@ const (
 	RouteAffinity         RoutePolicy = "affinity"
 )
 
-// AutoscaleConfig tunes the reactive per-model replica controller. The
-// zero value disables autoscaling (every deployed replica stays active).
+// AutoscalePolicy selects the autoscaler's control algorithm.
+type AutoscalePolicy string
+
+// Available autoscaling policies.
+const (
+	// AutoscaleReactive is the original controller: it reacts to the last
+	// window's queue depth and cold-start ratio, so every spike eats a
+	// burst of cold starts before replicas catch up.
+	AutoscaleReactive AutoscalePolicy = "reactive"
+	// AutoscalePredictive sizes each model from a per-model arrival
+	// forecast (internal/forecast): replicas are prewarmed *before* the
+	// predicted spike and idle replicas are demoted to sleep — GPU memory
+	// released, host-pinned copy kept — instead of being left to eviction.
+	AutoscalePredictive AutoscalePolicy = "predictive"
+)
+
+// ParseAutoscalePolicy maps a CLI spelling ("reactive", "predictive"; ""
+// means reactive) to an AutoscalePolicy.
+func ParseAutoscalePolicy(s string) (AutoscalePolicy, error) {
+	switch AutoscalePolicy(s) {
+	case "", AutoscaleReactive:
+		return AutoscaleReactive, nil
+	case AutoscalePredictive:
+		return AutoscalePredictive, nil
+	}
+	return "", fmt.Errorf("cluster: unknown autoscale policy %q (want reactive or predictive)", s)
+}
+
+// AutoscaleConfig tunes the per-model replica controller. The zero value
+// disables autoscaling (every deployed replica stays active).
 type AutoscaleConfig struct {
 	// Enabled turns the controller on. Models start at Min active replicas
 	// and scale toward their deployed maximum under load.
 	Enabled bool
+	// Policy selects the control algorithm; default AutoscaleReactive.
+	Policy AutoscalePolicy
 	// Min is the per-model active-replica floor. Default 1.
 	Min int
 	// Interval is the controller's decision period on the virtual clock.
 	// Default: the cluster's WindowWidth.
 	Interval sim.Duration
 	// QueueHigh scales a model up when the window's mean queue depth per
-	// node (sampled at each arrival) exceeds it. Default 2.
+	// node (sampled at each arrival) exceeds it. Default 2. The predictive
+	// policy keeps it as a reactive safety valve for mispredicted load.
 	QueueHigh float64
 	// QueueLow and ColdHigh together scale a model down: a window with mean
 	// per-node queue depth under QueueLow and a cold-start ratio over
 	// ColdHigh means traffic is spread thinner than residency can follow,
 	// so consolidating replicas converts cold starts into warm hits.
-	// Defaults 0.5 and 0.3.
+	// Defaults 0.5 and 0.3. Reactive policy only.
 	QueueLow float64
 	ColdHigh float64
+	// Horizon is how far ahead the predictive policy forecasts each tick;
+	// replicas are prewarmed for the peak rate predicted inside it.
+	// Default 2x Interval, so a prewarm started at one tick is warm before
+	// the spike the *next* tick would otherwise react to.
+	Horizon sim.Duration
+	// TargetUtil is the per-replica utilization the predictive policy
+	// sizes for: it targets ceil(peak rate / (TargetUtil / ExecEst))
+	// active replicas. Default 0.6.
+	TargetUtil float64
 }
 
 // Config configures a Cluster.
@@ -218,6 +260,17 @@ type modelState struct {
 	// activeG mirrors active into the monitor registry; nil when
 	// monitoring is off.
 	activeG *monitor.Gauge
+	// fc is the model's arrival forecaster; non-nil only under the
+	// predictive autoscaling policy. Fed one observation per arrival on
+	// the router, read at controller ticks.
+	fc *forecast.Forecaster
+	// execEst is the model's uncontended warm execution estimate (from the
+	// deployment cost model), the per-replica service time the predictive
+	// policy sizes with.
+	execEst sim.Duration
+	// rateG publishes the forecast rate (deepplan_forecast_rate); nil
+	// unless monitoring and the predictive policy are both on.
+	rateG *monitor.Gauge
 }
 
 // accrue brings the replica-second integral current at virtual time now.
@@ -298,6 +351,11 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.WindowWidth = 60 * sim.Second
 	}
 	if cfg.Autoscale.Enabled {
+		policy, err := ParseAutoscalePolicy(string(cfg.Autoscale.Policy))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Autoscale.Policy = policy
 		if cfg.Autoscale.Min <= 0 {
 			cfg.Autoscale.Min = 1
 		}
@@ -312,6 +370,12 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		if cfg.Autoscale.ColdHigh <= 0 {
 			cfg.Autoscale.ColdHigh = 0.3
+		}
+		if cfg.Autoscale.Horizon <= 0 {
+			cfg.Autoscale.Horizon = 2 * cfg.Autoscale.Interval
+		}
+		if cfg.Autoscale.TargetUtil <= 0 {
+			cfg.Autoscale.TargetUtil = 0.6
 		}
 	}
 	c := &Cluster{
@@ -408,6 +472,19 @@ func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
 		activeG: c.mon.Gauge("deepplan_active_replicas",
 			"Replicas receiving traffic (autoscaler output).", "model", model.Name),
 	}
+	if c.cfg.Autoscale.Enabled && c.cfg.Autoscale.Policy == AutoscalePredictive {
+		// One bucket per controller interval: the forecaster's resolution
+		// matches the cadence at which its predictions can be acted on.
+		m.fc = forecast.New(forecast.Config{Window: c.cfg.Autoscale.Interval})
+		est, ok := c.nodes[0].srv.ExecEstimate(model.Name)
+		if !ok {
+			return fmt.Errorf("cluster: no execution estimate for %q", model.Name)
+		}
+		m.execEst = est
+		m.rateG = c.mon.Gauge("deepplan_forecast_rate",
+			"Forecast arrival rate (requests/second), set at each predictive autoscaler tick.",
+			"model", model.Name)
+	}
 	m.activeG.Set(float64(active))
 	c.models[model.Name] = m
 	c.order = append(c.order, model.Name)
@@ -423,6 +500,14 @@ func (c *Cluster) Deploy(model *dnn.Model, replicas int) error {
 // ZooRequests. Use a cache HostPolicy: under the legacy pinned policy a
 // zoo larger than host memory fails at deploy time.
 func (c *Cluster) DeployZoo(z *registry.Zoo) error {
+	if c.cfg.Autoscale.Enabled {
+		// Zoo replicas are distinct tenants: consolidating or prewarming
+		// them by ordinal would route one tenant's traffic at another
+		// tenant's weights. The host cache is a zoo's elastic resource, not
+		// the active-replica count, so the combination is refused outright
+		// rather than silently ignored.
+		return fmt.Errorf("cluster: autoscaling cannot manage a model zoo (replicas are distinct tenants); disable Autoscale to deploy a zoo")
+	}
 	for i := range z.Variants {
 		v := &z.Variants[i]
 		shape := v.Model.Name
@@ -534,7 +619,11 @@ func (c *Cluster) route(m *modelState, replica int) *node {
 	case RouteAffinity:
 		// Rank live nodes by rendezvous score; between the top two, the
 		// less-loaded one wins (ties stay with the rendezvous winner, so a
-		// balanced cluster keeps perfect affinity).
+		// balanced cluster keeps perfect affinity). Residency trumps load:
+		// a spill that lands on a cold copy trades a queue slot for a full
+		// load, so the spill only happens when it does not give up a warm
+		// (or already-loading) copy of this replica — and conversely, when
+		// only the spill target is warm, it wins outright.
 		var best, second *node
 		var bestScore, secondScore uint64
 		for _, n := range c.nodes {
@@ -553,8 +642,21 @@ func (c *Cluster) route(m *modelState, replica int) *node {
 		if best == nil {
 			return nil
 		}
-		if second != nil && second.srv.Outstanding() < best.srv.Outstanding() {
-			return second
+		if second != nil {
+			id := m.base + replica
+			if m.zoo {
+				id = m.insts[replica]
+			}
+			bestWarm := best.srv.Instances()[id].State() == serving.Warm
+			secondWarm := second.srv.Instances()[id].State() == serving.Warm
+			switch {
+			case secondWarm && !bestWarm:
+				return second
+			case bestWarm && !secondWarm:
+				return best
+			case second.srv.Outstanding() < best.srv.Outstanding():
+				return second
+			}
 		}
 		return best
 	}
@@ -581,6 +683,9 @@ func (c *Cluster) handle(req Request) error {
 	c.winArrivals++
 	c.winQueueSum += int64(depth)
 	m.winArrivals++
+	if m.fc != nil {
+		m.fc.Observe(req.At) // zero-alloc; the predictive tick reads it
+	}
 
 	n := c.route(m, replica)
 	if n == nil {
@@ -610,6 +715,10 @@ func (c *Cluster) scaleTick() {
 	if c.winArrivals > 0 {
 		perNodeDepth = float64(c.winQueueSum) / float64(c.winArrivals) / float64(len(c.nodes))
 		coldRatio = float64(coldDelta) / float64(c.winArrivals)
+	}
+	if c.cfg.Autoscale.Policy == AutoscalePredictive {
+		c.predictiveTick(perNodeDepth, coldRatio)
+		return
 	}
 	as := c.cfg.Autoscale
 	for _, name := range c.order {
@@ -661,6 +770,134 @@ func (c *Cluster) scaleTick() {
 	}
 	c.winArrivals = 0
 	c.winQueueSum = 0
+}
+
+// predictiveTick runs one predictive autoscaler decision: each model's
+// forecaster projects the peak arrival rate over the configured horizon,
+// the target replica count is sized from the per-replica service rate at
+// TargetUtil utilization, and the delta is actuated through the lifecycle
+// — new replicas are *prewarmed* (DHA load starts now, before the spike)
+// and demoted replicas are put to *sleep* on every node (GPU memory
+// released, host copy kept) instead of being left to LRU eviction.
+// perNodeDepth keeps the reactive queue signal as a safety valve against
+// misprediction; coldRatio rides along for the trace.
+func (c *Cluster) predictiveTick(perNodeDepth, coldRatio float64) {
+	as := c.cfg.Autoscale
+	now := c.sim.Now()
+	for _, name := range c.order {
+		m := c.models[name]
+		m.accrue(now)
+		if m.fc == nil {
+			m.winArrivals = 0
+			continue
+		}
+		pred := m.fc.Forecast(now, as.Horizon)
+		m.rateG.Set(pred.Rate)
+		if c.rec != nil {
+			c.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "cluster",
+				"forecast "+m.name, now, map[string]any{
+					"model": m.name, "rate": pred.Rate, "peak": pred.Peak,
+					"period_s": pred.Period.Seconds(), "score": pred.Score,
+				})
+		}
+		// Replicas needed so the predicted peak keeps each at TargetUtil.
+		perReplica := as.TargetUtil / m.execEst.Seconds()
+		target := int(math.Ceil(pred.Peak / perReplica))
+		if perNodeDepth > as.QueueHigh && target <= m.active && m.active < m.replicas {
+			target = m.active + 1 // reactive safety valve: the forecast missed live queue pressure
+		}
+		if target < as.Min {
+			target = as.Min
+		}
+		if target > m.replicas {
+			target = m.replicas
+		}
+		if target < m.active && perNodeDepth >= as.QueueLow {
+			// The arrival forecast says "quiet", but a backlog from the
+			// last burst is still draining; shedding capacity now would
+			// concentrate the queue on the survivors. Hold width until the
+			// queue signal is actually quiet.
+			target = m.active
+		} else if target < m.active && pred.Period == 0 {
+			// No detected periodicity means the forecast cannot promise the
+			// lull will last; demote one replica per tick (reactive-style)
+			// instead of sleeping the whole surplus on a low-confidence
+			// prediction.
+			target = m.active - 1
+		}
+		before := m.active
+		if target > m.active {
+			for r := m.active; r < target; r++ {
+				if n := c.prewarmNode(m, r); n != nil {
+					n.srv.PrewarmInstance(m.base + r)
+				}
+			}
+		} else if target < m.active {
+			// Demote the replicas leaving the active set wherever they are
+			// resident; SleepInstance is a no-op on nodes where the replica
+			// is not idle-warm.
+			for r := target; r < m.active; r++ {
+				for _, n := range c.nodes {
+					n.srv.SleepInstance(m.base + r)
+				}
+			}
+		}
+		m.active = target
+		if m.active != before {
+			if m.active > before {
+				c.scaleUps++
+				c.scalesC[0].Inc()
+			} else {
+				c.scaleDowns++
+				c.scalesC[1].Inc()
+			}
+			m.activeG.Set(float64(m.active))
+			if c.rec != nil {
+				kind := "scale-up "
+				if m.active < before {
+					kind = "scale-down "
+				}
+				c.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "cluster",
+					kind+m.name, now, map[string]any{
+						"model": m.name, "active": m.active,
+						"queue_per_node": perNodeDepth, "cold_ratio": coldRatio,
+						"forecast_peak": pred.Peak,
+					})
+			}
+		}
+		m.winArrivals = 0
+	}
+	c.winArrivals = 0
+	c.winQueueSum = 0
+}
+
+// prewarmNode picks the node to prewarm a replica on: the replica's
+// rendezvous home under affinity routing (so the prewarmed residency is
+// where its traffic will land), a replica-indexed spread otherwise. The
+// router's round-robin cursor is deliberately not consulted — prewarm
+// placement must not perturb request routing. Returns nil when every node
+// is down.
+func (c *Cluster) prewarmNode(m *modelState, replica int) *node {
+	if c.cfg.Route == RouteAffinity {
+		var best *node
+		var bestScore uint64
+		for _, n := range c.nodes {
+			if n.down() {
+				continue
+			}
+			if s := rendezvous(m.name, replica, n.id); best == nil || s > bestScore {
+				best, bestScore = n, s
+			}
+		}
+		return best
+	}
+	for try := 0; try < len(c.nodes); try++ {
+		n := c.nodes[(replica+try)%len(c.nodes)]
+		if !n.down() {
+			return n
+		}
+	}
+	return nil
 }
 
 // Run replays the request sequence through the router to completion and
@@ -829,6 +1066,13 @@ type Report struct {
 	HostHits      int
 	HostMisses    int
 	HostEvictions int
+	// Lifecycle actuation totals across all nodes (predictive policy):
+	// sleep demotions, direct-host-access wakes, prewarm actuations, and
+	// swap-in round trips for sleeping copies that lost host residency.
+	Sleeps   int
+	Wakes    int
+	Prewarms int
+	SwapIns  int
 
 	// Autoregressive-mode aggregates, zero unless Config.LLM was enabled.
 	// In LLM mode the cold/warm percentiles above measure time-to-first-
@@ -890,6 +1134,10 @@ func (c *Cluster) report(requests int) (*Report, error) {
 		r.HostHits += rep.HostHits
 		r.HostMisses += rep.HostMisses
 		r.HostEvictions += rep.HostEvictions
+		r.Sleeps += rep.Sleeps
+		r.Wakes += rep.Wakes
+		r.Prewarms += rep.Prewarms
+		r.SwapIns += rep.SwapIns
 		if c.cfg.LLM.Enabled {
 			ls := n.srv.LLMStats()
 			ttft.Merge(ls.TTFT)

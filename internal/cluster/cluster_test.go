@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 
 	"deepplan/internal/costmodel"
 	"deepplan/internal/dnn"
+	"deepplan/internal/hostmem"
+	"deepplan/internal/registry"
 	"deepplan/internal/serving"
 	"deepplan/internal/sim"
 	"deepplan/internal/topology"
@@ -417,4 +421,203 @@ func newTestServer(t *testing.T) *serving.Server {
 		t.Fatal(err)
 	}
 	return srv
+}
+
+// burstTrain builds a deterministic periodic-burst arrival sequence: every
+// `every`, `n` requests land spread evenly over `width`, keyed round-robin
+// across `keys` replicas. The regularity is what the predictive
+// controller's forecaster must latch onto.
+func burstTrain(model string, bursts, n int, every, width sim.Duration, keys int) []Request {
+	var out []Request
+	k := 0
+	for b := 0; b < bursts; b++ {
+		base := sim.Time(b) * sim.Time(every)
+		for i := 0; i < n; i++ {
+			at := base + sim.Time(i)*sim.Time(width)/sim.Time(n)
+			out = append(out, Request{At: at, Model: model, Key: k})
+			k = (k + 1) % keys
+		}
+	}
+	return out
+}
+
+// TestPredictivePrewarmsBeforeBursts drives a strictly periodic burst
+// train through the predictive controller: after a few periods the
+// forecaster has the cadence, so the cluster must prewarm replicas ahead
+// of bursts and put them to sleep in the idle gaps between bursts —
+// exercising every lifecycle actuation from the controller side.
+func TestPredictivePrewarmsBeforeBursts(t *testing.T) {
+	c, err := New(Config{
+		Nodes:       2,
+		WindowWidth: 10 * sim.Second,
+		Autoscale: AutoscaleConfig{
+			Enabled:  true,
+			Interval: sim.Second,
+			Policy:   AutoscalePredictive,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := c.Deploy(m, 16); err != nil {
+		t.Fatal(err)
+	}
+	c.Warmup()
+	if got := c.models["BERT-Base"].active; got != 1 {
+		t.Fatalf("predictive model should start at the floor, got %d active", got)
+	}
+	reqs := burstTrain("BERT-Base", 8, 300, 5*sim.Second, 500*sim.Millisecond, 16)
+	rep, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScaleUps == 0 {
+		t.Fatal("periodic bursts should trigger predictive scale-ups")
+	}
+	if rep.Prewarms == 0 {
+		t.Fatal("predictive scale-ups should actuate through prewarms")
+	}
+	if rep.Sleeps == 0 {
+		t.Fatal("idle gaps between bursts should demote replicas to sleep")
+	}
+	if rep.Wakes == 0 {
+		t.Fatal("prewarming slept replicas before the next burst should count wakes")
+	}
+	if rep.Replicas[0].Active > rep.Replicas[0].Max {
+		t.Fatalf("active replicas exceeded deployed ceiling: %+v", rep.Replicas)
+	}
+}
+
+// TestPredictiveParallelMatchesSerial pins the byte-identity guarantee for
+// the new controller: the exact run that prewarms and sleeps (see above)
+// must produce an identical report and Chrome trace under -parallel-sim.
+func TestPredictiveParallelMatchesSerial(t *testing.T) {
+	run := func(parallel bool) (*Report, []byte) {
+		rec := trace.New()
+		c, err := New(Config{
+			Nodes:       2,
+			WindowWidth: 10 * sim.Second,
+			Parallel:    parallel,
+			Trace:       rec,
+			Telemetry:   true,
+			Autoscale: AutoscaleConfig{
+				Enabled:  true,
+				Interval: sim.Second,
+				Policy:   AutoscalePredictive,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := dnn.ByName("bert-base")
+		if err := c.Deploy(m, 16); err != nil {
+			t.Fatal(err)
+		}
+		c.Warmup()
+		rep, err := c.Run(burstTrain("BERT-Base", 6, 300, 5*sim.Second, 500*sim.Millisecond, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, rec, nil); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.Bytes()
+	}
+	wantRep, wantTrace := run(false)
+	gotRep, gotTrace := run(true)
+	if wantRep.Prewarms == 0 {
+		t.Fatal("test premise broken: no prewarms to compare")
+	}
+	if !reflect.DeepEqual(wantRep, gotRep) {
+		t.Fatalf("predictive parallel report diverged:\nserial:   %+v\nparallel: %+v", wantRep, gotRep)
+	}
+	if !bytes.Equal(wantTrace, gotTrace) {
+		t.Fatalf("predictive parallel trace diverged (%d vs %d bytes)", len(wantTrace), len(gotTrace))
+	}
+}
+
+func TestParseAutoscalePolicy(t *testing.T) {
+	for in, want := range map[string]AutoscalePolicy{
+		"":           AutoscaleReactive,
+		"reactive":   AutoscaleReactive,
+		"predictive": AutoscalePredictive,
+	} {
+		got, err := ParseAutoscalePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseAutoscalePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAutoscalePolicy("oracle"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestDeployZooRefusesAutoscale pins the refusal at the cluster API:
+// autoscaling consolidates replicas of one model by ordinal, which for a
+// zoo would conflate distinct tenants — the combination must fail loudly
+// at Deploy time under both controller policies, not be silently ignored.
+func TestDeployZooRefusesAutoscale(t *testing.T) {
+	for _, pol := range []AutoscalePolicy{AutoscaleReactive, AutoscalePredictive} {
+		c, err := New(Config{
+			Nodes:      1,
+			HostPolicy: hostmem.PolicyCostAware,
+			Autoscale:  AutoscaleConfig{Enabled: true, Interval: sim.Second, Policy: pol},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := registry.New(registry.Spec{N: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.DeployZoo(z)
+		if err == nil {
+			t.Fatalf("policy %q: zoo deployed under autoscaling; want refusal", pol)
+		}
+		if !strings.Contains(err.Error(), "zoo") {
+			t.Fatalf("policy %q: refusal does not explain itself: %v", pol, err)
+		}
+		// The refusal must leave the cluster clean: no half-deployed tenants.
+		if len(c.models) != 0 || len(c.order) != 0 {
+			t.Fatalf("policy %q: refused zoo left %d models behind", pol, len(c.models))
+		}
+	}
+}
+
+// TestReactiveDrainRespectsFloor is the idle-drain edge: with a raised
+// floor, consolidation must stop exactly at Min even across a long idle
+// tail, never draining the model to zero.
+func TestReactiveDrainRespectsFloor(t *testing.T) {
+	c, err := New(Config{
+		Nodes:     2,
+		Autoscale: AutoscaleConfig{Enabled: true, Min: 2, Interval: sim.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := dnn.ByName("bert-base")
+	if err := c.Deploy(m, 8); err != nil {
+		t.Fatal(err)
+	}
+	c.models["BERT-Base"].active = 6 // as if a burst had widened it
+	reqs := toCluster("BERT-Base", workload.Poisson(9, 200, 50, 6))
+	reqs = append(reqs, Request{At: 30 * sim.Time(sim.Second), Model: "BERT-Base", Key: 0})
+	rep, err := c.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScaleDowns == 0 {
+		t.Fatal("idle tail should consolidate replicas")
+	}
+	if got := rep.Replicas[0].Active; got != 2 {
+		t.Fatalf("drained to %d active replicas, want exactly the Min floor of 2", got)
+	}
 }

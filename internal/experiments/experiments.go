@@ -58,6 +58,10 @@ type Options struct {
 	// Other experiments ignore both fields.
 	ZooN      int
 	ZooPolicy string
+	// AutoscalePolicy ("reactive" or "predictive") pins fig-forecast's
+	// controller comparison to one policy; empty compares both. Other
+	// experiments ignore it.
+	AutoscalePolicy string
 	// LLMBatching ("continuous" or "static") pins fig-llm's batching
 	// comparison to one discipline; empty compares both. PrefillDecode
 	// runs fig-llm with prefill and decode disaggregated onto separate
@@ -95,6 +99,7 @@ var registry = []Experiment{
 	{"fig-slo", "SLO monitor: burn-rate alerts under faults, per cold-start policy", FigSLO},
 	{"fig-zoo", "Model zoo: cold-start tail vs zoo size under a pinned host-cache tier", FigZoo},
 	{"fig-llm", "Autoregressive serving: continuous vs static batching with a KV cache", FigLLM},
+	{"fig-forecast", "Predictive actuation: reactive vs forecast-driven autoscaling under a spiky trace", FigForecast},
 }
 
 // All returns every experiment in presentation order.

@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig5", "table1", "fig6", "table2", "fig11", "table3",
 		"table4", "fig12", "table5", "fig13", "fig14", "fig15", "fig16",
 	}
-	extra := []string{"fig-faults", "fig-cluster", "fig-capacity", "fig-slo", "fig-zoo", "fig-llm", "ext-large", "ext-moe", "ablate-prune", "ablate-parts", "ablate-pcie", "ablate-nvlink"}
+	extra := []string{"fig-faults", "fig-cluster", "fig-capacity", "fig-slo", "fig-zoo", "fig-llm", "fig-forecast", "ext-large", "ext-moe", "ablate-prune", "ablate-parts", "ablate-pcie", "ablate-nvlink"}
 	ids := IDs()
 	if len(ids) != len(paper)+len(extra) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(paper)+len(extra))

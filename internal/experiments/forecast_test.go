@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"deepplan/internal/cluster"
+)
+
+// TestFigForecastPredictiveWinsColdTail pins fig-forecast's headline
+// claim: on the periodic spiky trace the predictive controller beats the
+// reactive one on cold-start p99 while billing no more replica-seconds.
+func TestFigForecastPredictiveWinsColdTail(t *testing.T) {
+	p := defaultForecastParams(true)
+	reqs, err := p.workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reactive, err := runForecastPolicy(p, cluster.AutoscaleReactive, reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictive, err := runForecastPolicy(p, cluster.AutoscalePredictive, reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predictive.Prewarms == 0 || predictive.Sleeps == 0 {
+		t.Fatalf("predictive run did not actuate the lifecycle: %d prewarms, %d sleeps",
+			predictive.Prewarms, predictive.Sleeps)
+	}
+	if reactive.Prewarms != 0 || reactive.Sleeps != 0 {
+		t.Fatalf("reactive run actuated the predictive lifecycle: %d prewarms, %d sleeps",
+			reactive.Prewarms, reactive.Sleeps)
+	}
+	if predictive.ColdP99 >= reactive.ColdP99 {
+		t.Fatalf("predictive cold p99 %v not below reactive %v",
+			predictive.ColdP99, reactive.ColdP99)
+	}
+	if rp, rr := replicaSeconds(predictive), replicaSeconds(reactive); rp > rr {
+		t.Fatalf("predictive billed %v replica-seconds, more than reactive's %v", rp, rr)
+	}
+}
+
+// TestFigForecastByteIdenticalParallelSim: the experiment's stdout must
+// not depend on the simulator execution mode.
+func TestFigForecastByteIdenticalParallelSim(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := FigForecast(&serial, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := FigForecast(&parallel, Options{Quick: true, ParallelSim: true}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty experiment output")
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("fig-forecast output differs between serial and -parallel-sim:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestFigForecastPinnedPolicy: Options.AutoscalePolicy restricts the table
+// to one controller and rejects unknown spellings.
+func TestFigForecastPinnedPolicy(t *testing.T) {
+	var out bytes.Buffer
+	if err := FigForecast(&out, Options{Quick: true, AutoscalePolicy: "predictive"}); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !bytes.Contains(out.Bytes(), []byte("predictive")) ||
+		bytes.Contains(out.Bytes(), []byte("\nreactive")) {
+		t.Fatalf("pinned-policy output wrong:\n%s", s)
+	}
+	if err := FigForecast(&out, Options{Quick: true, AutoscalePolicy: "oracle"}); err == nil {
+		t.Fatal("unknown autoscale policy accepted")
+	}
+}

@@ -109,16 +109,7 @@ func (srv *Server) startFetch(inst *Instance, p pending, fresh bool) {
 		var err error
 		e, victims, err = srv.host.Admit(inst.pinName, dep.Model.TotalParamBytes(),
 			dep.LoadEst, inst.popularity, now)
-		for _, v := range victims {
-			if srv.rec != nil {
-				srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
-					"host-evict "+v.Name, now,
-					map[string]any{"bytes": v.Bytes, "for": inst.pinName})
-			}
-			if srv.ins != nil {
-				srv.ins.hostEvictions.Inc()
-			}
-		}
+		srv.noteHostEvictions(victims, inst.pinName)
 		if err == nil {
 			break
 		}

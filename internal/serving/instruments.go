@@ -30,6 +30,11 @@ type instruments struct {
 	hostFetches   *monitor.Counter
 	hostPinned    *monitor.Gauge
 
+	sleeps   *monitor.Counter
+	wakes    *monitor.Counter
+	prewarms *monitor.Counter
+	swapIns  *monitor.Counter
+
 	gpuBusy     []*monitor.Counter
 	gpuBusyFrac []*monitor.Gauge
 	gpuUp       []*monitor.Gauge
@@ -74,6 +79,14 @@ func newInstruments(reg *monitor.Registry, policy Policy, numGPUs int) *instrume
 			"Fetch-to-pin operations for weights that were not host-resident."),
 		hostPinned: reg.Gauge("deepplan_host_pinned_bytes",
 			"Bytes pinned in the host-memory tier, sampled at each fetch."),
+		sleeps: reg.Counter("deepplan_sleeps",
+			"Warm instances demoted to the sleeping state (GPU memory released, host copy kept)."),
+		wakes: reg.Counter("deepplan_wakes",
+			"Sleeping instances promoted back to warm via a direct-host-access load."),
+		prewarms: reg.Counter("deepplan_prewarms",
+			"Prewarm actuations started by the predictive autoscaler."),
+		swapIns: reg.Counter("deepplan_swap_ins",
+			"Swapped-out instances promoted back to warm (host fetch + load)."),
 	}
 	for g := 0; g < numGPUs; g++ {
 		id := strconv.Itoa(g)

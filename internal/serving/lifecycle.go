@@ -1,0 +1,317 @@
+package serving
+
+import (
+	"errors"
+
+	"deepplan/internal/engine"
+	"deepplan/internal/hostmem"
+	"deepplan/internal/sim"
+	"deepplan/internal/trace"
+)
+
+// This file is the instance lifecycle state machine the predictive
+// autoscaler actuates:
+//
+//	           place (DHA load)
+//	   Cold ─────────────────────▶ Warm
+//	    ▲                         │   │
+//	    │ evict                   │   │ SleepInstance
+//	    └─────────────────────────┘   ▼
+//	        wake = place + load    Sleeping ── host-cache evict ──▶ Swapped
+//	   Warm ◀──────────────────────┘                                 │
+//	   Warm ◀── swap-in = host fetch + place + load ─────────────────┘
+//
+// Each transition has a distinct actuation cost: sleep is free (metadata
+// plus freeing GPU memory), wake is one direct-host-access load from the
+// still-pinned host copy, and swap-in pays the full fetch-to-pin before
+// the load can even start. The cluster's predictive controller prefers
+// sleep over evict precisely because waking is so much cheaper than the
+// cold path a swapped or never-warm instance takes.
+
+// setState moves an instance between lifecycle states and records the
+// transition as a "state <model>" instant (args: instance, from, to, why)
+// so deepplan-trace can reconstruct per-instance lifecycle timelines.
+// Counter bookkeeping stays with the callers.
+func (srv *Server) setState(inst *Instance, to InstanceState, why string) {
+	from := inst.state
+	inst.state = to
+	if srv.rec != nil && from != to {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"state "+inst.dep.Model.Name, srv.sim.Now(), map[string]any{
+				"instance": inst.ID, "from": from.String(), "to": to.String(), "why": why,
+			})
+	}
+}
+
+// notePromotion accounts a placement's lifecycle meaning after the fact:
+// promoting a Sleeping instance is a wake (it pays only the DHA load);
+// promoting a Swapped one is a swap-in (its host fetch already happened on
+// the fetch path). Promotions from Cold are the ordinary cold start and
+// count nothing here.
+func (srv *Server) notePromotion(inst *Instance, prev InstanceState, gs *gpuState) {
+	switch prev {
+	case Sleeping:
+		srv.wakes++
+		if srv.ins != nil {
+			srv.ins.wakes.Inc()
+		}
+		if srv.rec != nil {
+			srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "serving",
+				"wake "+inst.dep.Model.Name, srv.sim.Now(),
+				map[string]any{"instance": inst.ID})
+		}
+	case Swapped:
+		srv.swapIns++
+		if srv.ins != nil {
+			srv.ins.swapIns.Inc()
+		}
+		if srv.rec != nil {
+			srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "serving",
+				"swap-in "+inst.dep.Model.Name, srv.sim.Now(),
+				map[string]any{"instance": inst.ID})
+		}
+	}
+}
+
+// noteHostEvictions records cache-tier victims (trace + monitor) and
+// demotes any Sleeping instance whose pinned copy was just pushed out to
+// Swapped — from here on, activating it costs a full fetch-to-pin again.
+func (srv *Server) noteHostEvictions(victims []hostmem.Evicted, forName string) {
+	now := srv.sim.Now()
+	for _, v := range victims {
+		if srv.rec != nil {
+			srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+				"host-evict "+v.Name, now,
+				map[string]any{"bytes": v.Bytes, "for": forName})
+		}
+		if srv.ins != nil {
+			srv.ins.hostEvictions.Inc()
+		}
+		if inst, ok := srv.byPin[v.Name]; ok && inst.state == Sleeping {
+			srv.swapOuts++
+			if srv.rec != nil {
+				srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+					"swap-out "+inst.dep.Model.Name, now,
+					map[string]any{"instance": inst.ID})
+			}
+			srv.setState(inst, Swapped, "host-evict")
+		}
+	}
+}
+
+// idleWarm reports whether an instance is warm with strictly nothing in
+// flight — the only condition under which demoting it loses no work.
+func (srv *Server) idleWarm(inst *Instance) bool {
+	if inst.state != Warm || inst.loading || inst.inflight > 0 ||
+		len(inst.backlog) > 0 || inst.fetching || len(inst.fetchWait) > 0 {
+		return false
+	}
+	if llm := inst.llm; llm != nil {
+		if llm.running || len(llm.active)+len(llm.joinq)+len(llm.kvwait)+len(llm.transfers) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SleepInstance demotes an idle warm instance to Sleeping: its GPU memory
+// (weights block and any decode replica) is freed and its host entry
+// unlocks, but the pinned host copy stays put, so a later wake is a single
+// direct-host-access load. Returns false — and does nothing — unless the
+// instance is warm with no work in flight. This is the scale-down
+// actuation of the predictive autoscaler; unlike evict it is an explicit
+// policy decision, not a memory-pressure reaction, and is counted
+// separately (Report.Sleeps, deepplan_sleeps).
+func (srv *Server) SleepInstance(id int) bool {
+	if id < 0 || id >= len(srv.instances) {
+		return false
+	}
+	inst := srv.instances[id]
+	if !srv.idleWarm(inst) {
+		return false
+	}
+	gs := srv.gpus[inst.gpu]
+	if err := gs.mem.Free(inst.block); err != nil {
+		panic("serving: sleep accounting bug: " + err.Error())
+	}
+	delete(gs.residents, inst)
+	inst.block = nil
+	if inst.pdBlock != nil {
+		pgs := srv.gpus[inst.pdGPU]
+		if err := pgs.mem.Free(inst.pdBlock); err != nil {
+			panic("serving: decode-replica sleep accounting bug: " + err.Error())
+		}
+		inst.pdBlock = nil
+		srv.memCounter(pgs)
+	}
+	if e, ok := srv.host.Peek(inst.pinName); ok {
+		e.SetLocked(false)
+	}
+	srv.setState(inst, Sleeping, "sleep")
+	srv.sleeps++
+	if srv.rec != nil {
+		srv.rec.InstantArgs(gs.id, trace.TIDLifecycle, "serving",
+			"sleep "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID})
+	}
+	srv.memCounter(gs)
+	if srv.ins != nil {
+		srv.ins.sleeps.Inc()
+	}
+	return true
+}
+
+// PrewarmInstance starts bringing an instance toward Warm ahead of
+// predicted demand: a host-resident instance (Cold or Sleeping) is placed
+// and its load started immediately; a Swapped or never-pinned instance
+// first pays the fetch-to-pin. The warm-up load runs in the background
+// with no request attached — requests arriving mid-load coalesce behind
+// it exactly as they do behind a demand cold start. Returns whether an
+// actuation was started; instances already warm, already fetching, or
+// impossible to place right now return false and are left untouched.
+func (srv *Server) PrewarmInstance(id int) bool {
+	if id < 0 || id >= len(srv.instances) {
+		return false
+	}
+	inst := srv.instances[id]
+	if inst.state == Warm || inst.fetching {
+		return false
+	}
+	if e, resident := srv.host.Peek(inst.pinName); resident {
+		srv.host.Touch(e, srv.sim.Now())
+		if !srv.place(inst) {
+			return false
+		}
+		srv.notePrewarm(inst)
+		srv.startPrewarmLoad(inst)
+		return true
+	}
+	return srv.prewarmFetch(inst)
+}
+
+// notePrewarm counts one started prewarm actuation.
+func (srv *Server) notePrewarm(inst *Instance) {
+	srv.prewarms++
+	if srv.ins != nil {
+		srv.ins.prewarms.Inc()
+	}
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"prewarm "+inst.dep.Model.Name, srv.sim.Now(),
+			map[string]any{"instance": inst.ID, "state": inst.state.String()})
+	}
+}
+
+// startPrewarmLoad launches the background warm-up load for a just-placed
+// instance. It deliberately uses the single-GPU fallback plan when one
+// exists: a parallel-transmission load ties up a second GPU's copy engine,
+// and a speculative warm-up must never convoy demand cold starts behind
+// its forwarding copies.
+func (srv *Server) startPrewarmLoad(inst *Instance) {
+	gs := srv.gpus[inst.gpu]
+	srv.busyUp(gs)
+	gs.activeColds++
+	coldPlan := inst.dep.Plan
+	if inst.dep.Fallback != nil {
+		coldPlan = inst.dep.Fallback
+	}
+	spec := engine.Spec{
+		Model:   inst.dep.Model,
+		Plan:    coldPlan,
+		Batch:   srv.cfg.Batch,
+		Primary: inst.gpu,
+		OnDone: func(res *engine.Result) {
+			inst.loading = false
+			srv.busyDown(gs)
+			gs.activeColds--
+			if res.Aborted {
+				// A GPU failure cut the warm-up short: drop residency so a
+				// later demand arrival performs a full cold start, and
+				// re-dispatch anything that coalesced behind the load.
+				if inst.state == Warm {
+					srv.evict(inst)
+				}
+				victims := inst.backlog
+				inst.backlog = nil
+				for _, v := range victims {
+					srv.retryOrShed(inst, v)
+				}
+				srv.drainWaitlist()
+				return
+			}
+			srv.releaseBacklog(inst)
+			srv.drainWaitlist()
+		},
+	}
+	if err := srv.eng.Start(spec); err != nil {
+		panic("serving: prewarm load rejected: " + err.Error())
+	}
+}
+
+// prewarmFetch is PrewarmInstance's fetch-to-pin path for instances whose
+// weights are not host-resident. Unlike the demand path it carries no
+// request: if host memory cannot be freed right now the prewarm is simply
+// abandoned (returns false) instead of parking anything.
+func (srv *Server) prewarmFetch(inst *Instance) bool {
+	dep := inst.dep
+	now := srv.sim.Now()
+	var e *hostmem.Entry
+	for {
+		var victims []hostmem.Evicted
+		var err error
+		e, victims, err = srv.host.Admit(inst.pinName, dep.Model.TotalParamBytes(),
+			dep.LoadEst, inst.popularity, now)
+		srv.noteHostEvictions(victims, inst.pinName)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, hostmem.ErrCacheBusy) && srv.relieveHostPressure() {
+			continue
+		}
+		return false // cannot make room; the spike will pay on demand
+	}
+	e.SetLocked(true)
+	inst.fetching = true
+	srv.notePrewarm(inst)
+	if srv.rec != nil {
+		srv.rec.InstantArgs(trace.ServerPID, trace.TIDLifecycle, "serving",
+			"host-fetch "+dep.Model.Name, now, map[string]any{
+				"instance": inst.ID,
+				"bytes":    dep.Model.TotalParamBytes(),
+				"fetch_us": float64(dep.FetchEst) / 1e3,
+			})
+	}
+	if srv.ins != nil {
+		srv.ins.hostFetches.Inc()
+		srv.ins.hostPinned.Set(float64(srv.host.Pinned()))
+	}
+	srv.sim.After(dep.FetchEst, func() {
+		inst.fetching = false
+		waiters := inst.fetchWait
+		inst.fetchWait = nil
+		if srv.place(inst) {
+			srv.startPrewarmLoad(inst)
+		} else {
+			e.SetLocked(false) // evictable again; the prewarm lapses
+		}
+		for _, w := range waiters {
+			if inst.state == Warm {
+				srv.startWarm(inst, w)
+				continue
+			}
+			srv.startColdPath(inst, w, true)
+		}
+	})
+	return true
+}
+
+// ExecEstimate returns the named deployment's uncontended warm execution
+// estimate — the per-replica service time the predictive autoscaler sizes
+// replica counts with. ok is false for models never deployed here.
+func (srv *Server) ExecEstimate(model string) (est sim.Duration, ok bool) {
+	dep, ok := srv.deployments[model]
+	if !ok {
+		return 0, false
+	}
+	return dep.ExecEst, true
+}

@@ -130,11 +130,35 @@ type Config struct {
 // InstanceState is an instance's residency state.
 type InstanceState int
 
-// Instance lifecycle states.
+// Instance lifecycle states. Cold and Warm are the paper's two residency
+// states; Sleeping and Swapped extend them into the explicit lifecycle the
+// predictive autoscaler actuates: a demoted instance first *sleeps* —
+// GPU memory released but the host-pinned copy kept, so waking is one DHA
+// load — and only becomes *swapped* if host-memory pressure later pushes
+// its pinned copy out, making the next activation pay a full host fetch
+// plus load.
 const (
-	Cold InstanceState = iota // weights only in host memory
-	Warm                      // resident on a GPU (possibly still loading)
+	Cold     InstanceState = iota // weights only in host memory (never yet placed, or evicted)
+	Warm                          // resident on a GPU (possibly still loading)
+	Sleeping                      // demoted from Warm: GPU memory freed, host copy retained
+	Swapped                       // demoted further: host copy evicted under cache pressure
 )
+
+// String names the state ("cold", "warm", "sleeping", "swapped").
+func (s InstanceState) String() string {
+	switch s {
+	case Cold:
+		return "cold"
+	case Warm:
+		return "warm"
+	case Sleeping:
+		return "sleeping"
+	case Swapped:
+		return "swapped"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
 
 // Instance is one deployed model replica, standing in for "a model
 // corresponding to a different user or service" (§5.3.1).
@@ -260,6 +284,9 @@ type Server struct {
 	gpus        []*gpuState
 	deployments map[string]*Deployment
 	instances   []*Instance
+	// byPin maps host-cache entry names back to instances, so host-tier
+	// evictions can demote a Sleeping instance to Swapped.
+	byPin map[string]*Instance
 
 	rec      *trace.Recorder    // nil when tracing is off
 	tel      *metrics.Telemetry // nil when telemetry is off
@@ -284,8 +311,14 @@ type Server struct {
 	retried         int // requests re-dispatched after a GPU failure
 	degraded        int // requests completed while a fault window was open
 	gpuFailures     int
-	waitlist        []waiting
-	completed       int
+	// Lifecycle actuation counters (predictive autoscaling).
+	sleeps    int // Warm→Sleeping demotions
+	wakes     int // Sleeping→Warm activations (one DHA load from the host copy)
+	prewarms  int // PrewarmInstance actuations that started a load or fetch
+	swapIns   int // Swapped→Warm activations (host fetch + load)
+	swapOuts  int // Sleeping→Swapped demotions under host-cache pressure
+	waitlist  []waiting
+	completed int
 
 	// Autoregressive-mode counters (zero when Config.LLM is off).
 	tokensGenerated int
@@ -385,6 +418,7 @@ func New(cfg Config) (*Server, error) {
 		pl:          planner.New(cfg.Topo),
 		host:        host,
 		deployments: map[string]*Deployment{},
+		byPin:       map[string]*Instance{},
 		series:      metrics.NewSeries(cfg.WindowWidth, cfg.SLO),
 		rec:         cfg.Trace,
 	}
@@ -583,9 +617,11 @@ func (srv *Server) addInstance(dep *Deployment, popularity float64) (int, error)
 	} else {
 		srv.host.TryAdmit(name, bytes, dep.LoadEst, popularity, now)
 	}
-	srv.instances = append(srv.instances, &Instance{
+	inst := &Instance{
 		ID: id, dep: dep, state: Cold, pinName: name, popularity: popularity,
-	})
+	}
+	srv.instances = append(srv.instances, inst)
+	srv.byPin[name] = inst
 	return id, nil
 }
 
@@ -622,7 +658,7 @@ func (srv *Server) Warmup() int {
 					}
 					inst.pdGPU, inst.pdBlock = pdGS.id, pdBlk
 				}
-				inst.state = Warm
+				srv.setState(inst, Warm, "warmup")
 				inst.gpu = gs.id
 				inst.block = blk
 				gs.residents[inst] = true
@@ -1045,7 +1081,8 @@ func (srv *Server) place(inst *Instance) bool {
 				inst.pdGPU, inst.pdBlock = pdGS.id, pdBlk
 				srv.memCounter(pdGS)
 			}
-			inst.state = Warm
+			prev := inst.state
+			srv.setState(inst, Warm, "place")
 			inst.loading = true
 			inst.gpu = gs.id
 			inst.block = blk
@@ -1053,6 +1090,7 @@ func (srv *Server) place(inst *Instance) bool {
 			if e, ok := srv.host.Peek(inst.pinName); ok {
 				e.SetLocked(true) // warm weights must stay host-resident (DHA reads them)
 			}
+			srv.notePromotion(inst, prev, gs)
 			srv.memCounter(gs)
 			return true
 		}
@@ -1138,7 +1176,7 @@ func (srv *Server) evict(inst *Instance) {
 		panic("serving: eviction accounting bug: " + err.Error())
 	}
 	delete(gs.residents, inst)
-	inst.state = Cold
+	srv.setState(inst, Cold, "evict")
 	inst.block = nil
 	if inst.pdBlock != nil {
 		pgs := srv.gpus[inst.pdGPU]
@@ -1494,21 +1532,37 @@ func (srv *Server) CheckInvariants() error {
 			if !e.Locked() {
 				return fmt.Errorf("serving: warm instance %d host entry is evictable", inst.ID)
 			}
-		case Cold:
+		case Cold, Swapped:
 			if inst.block != nil {
-				return fmt.Errorf("serving: cold instance %d holds a block", inst.ID)
+				return fmt.Errorf("serving: %v instance %d holds a block", inst.state, inst.ID)
 			}
 			if inst.pdBlock != nil {
-				return fmt.Errorf("serving: cold instance %d holds a decode replica", inst.ID)
+				return fmt.Errorf("serving: %v instance %d holds a decode replica", inst.state, inst.ID)
 			}
 			if inst.loading {
-				return fmt.Errorf("serving: cold instance %d marked loading", inst.ID)
+				return fmt.Errorf("serving: %v instance %d marked loading", inst.state, inst.ID)
 			}
 			if inst.fetching && !resident {
 				return fmt.Errorf("serving: instance %d fetching without a host entry", inst.ID)
 			}
 			if resident && e.Locked() && !inst.fetching {
-				return fmt.Errorf("serving: cold idle instance %d holds a host lock", inst.ID)
+				return fmt.Errorf("serving: %v idle instance %d holds a host lock", inst.state, inst.ID)
+			}
+		case Sleeping:
+			// Sleeping means exactly: no device residency, host copy intact
+			// and evictable. A sleeping copy pushed out of host memory must
+			// have been demoted to Swapped.
+			if inst.block != nil || inst.pdBlock != nil {
+				return fmt.Errorf("serving: sleeping instance %d holds GPU memory", inst.ID)
+			}
+			if inst.loading || inst.fetching {
+				return fmt.Errorf("serving: sleeping instance %d has an actuation in flight", inst.ID)
+			}
+			if !resident {
+				return fmt.Errorf("serving: sleeping instance %d lost its host copy without demotion", inst.ID)
+			}
+			if e.Locked() {
+				return fmt.Errorf("serving: sleeping instance %d holds a host lock", inst.ID)
 			}
 		}
 	}
@@ -1613,6 +1667,16 @@ type Report struct {
 	BatchedRequests int
 	Evictions       int
 	Deferred        int
+	// Sleeps/Wakes/Prewarms/SwapIns/SwapOuts account the explicit instance
+	// lifecycle the predictive autoscaler actuates: demotions to the
+	// sleeping state, direct-host-access wake-ups from it, speculative
+	// prewarm actuations, and the swapped-out round trips paid when host
+	// pressure pushed a sleeping copy out.
+	Sleeps   int
+	Wakes    int
+	Prewarms int
+	SwapIns  int
+	SwapOuts int
 	// HostHits / HostMisses count pinned-cache lookups on the cold path: a
 	// miss means the request paid a fetch-to-pin before its cold-start plan
 	// could begin. HostEvictions counts entries the cache policy pushed out
@@ -1673,6 +1737,11 @@ func (srv *Server) report(n int) *Report {
 		BatchedRequests: srv.batchedRequests,
 		Evictions:       srv.evictions,
 		Deferred:        srv.deferred,
+		Sleeps:          srv.sleeps,
+		Wakes:           srv.wakes,
+		Prewarms:        srv.prewarms,
+		SwapIns:         srv.swapIns,
+		SwapOuts:        srv.swapOuts,
 		HostHits:        srv.host.Hits(),
 		HostMisses:      srv.host.Misses(),
 		HostEvictions:   srv.host.Evictions(),

@@ -196,12 +196,57 @@ type TraceSpec struct {
 	// Mix is the fraction of functions per class; zero value uses the
 	// default 10% sustained / 30% fluctuating / 20% spiky / 40% rare.
 	Mix map[FunctionClass]float64
+	// BurstEvery/BurstLen, when both positive, pin every Spiky function to
+	// this shared phase-aligned burst schedule (bursts at t = 0, BurstEvery,
+	// 2×BurstEvery, ... each lasting BurstLen) instead of the per-function
+	// random draws. That makes the spike timing a controlled experimental
+	// variable — exactly what the forecasting experiments need — while the
+	// zero value leaves every existing trace byte-identical.
+	BurstEvery sim.Duration
+	BurstLen   sim.Duration
+}
+
+// FunctionProfile is the ground-truth rate structure MAFLike generated one
+// function with: the knobs the thinning envelope used, exposed so
+// forecasters can be validated against (and tuned to) the true
+// periodicity instead of reverse-engineering it from arrivals.
+type FunctionProfile struct {
+	// Class is the function's arrival class.
+	Class FunctionClass
+	// Mean is the function's average request rate (requests/second).
+	Mean float64
+	// Period is the sinusoidal period of a Fluctuating function; zero for
+	// other classes.
+	Period sim.Duration
+	// BurstEvery, BurstLen and BurstOffset describe a Spiky function's
+	// burst schedule: a burst starts whenever (t+BurstOffset) mod
+	// BurstEvery < BurstLen. All zero for other classes.
+	BurstEvery  sim.Duration
+	BurstLen    sim.Duration
+	BurstOffset sim.Duration
+}
+
+// Periodicity returns the function's dominant rate periodicity: the burst
+// interval for Spiky functions, the sinusoidal period for Fluctuating
+// ones, and zero for classes with no time structure.
+func (p FunctionProfile) Periodicity() sim.Duration {
+	switch p.Class {
+	case Spiky:
+		return p.BurstEvery
+	case Fluctuating:
+		return p.Period
+	default:
+		return 0
+	}
 }
 
 // Trace is a generated arrival sequence with its per-function metadata.
 type Trace struct {
 	Requests []Request
 	Classes  []FunctionClass // per function (instance) index
+	// Profiles holds each function's ground-truth rate structure, indexed
+	// like Classes.
+	Profiles []FunctionProfile
 }
 
 // MAFLike synthesizes an Azure-Functions-like trace. Each function (mapped
@@ -259,15 +304,32 @@ func MAFLike(spec TraceSpec) (*Trace, error) {
 	}
 
 	durSec := spec.Duration.Seconds()
-	tr := &Trace{Classes: classes}
+	tr := &Trace{Classes: classes, Profiles: make([]FunctionProfile, len(classes))}
 	for fn, c := range classes {
 		mean := spec.TotalRate * weight(c) / totalWeight
-		// Per-function phase/burst structure.
+		// Per-function phase/burst structure. The draws always happen so
+		// the rng stream — and therefore every other function's arrivals —
+		// stays byte-identical whether or not the burst override is set.
 		phase := rng.Float64() * 2 * math.Pi
 		period := (15 + rng.Float64()*45) * 60 // 15-60 min
 		burstEvery := (10 + rng.Float64()*30) * 60
 		burstLen := 20 + rng.Float64()*60 // 20-80 s
 		burstOffset := rng.Float64() * burstEvery
+		if spec.BurstEvery > 0 && spec.BurstLen > 0 {
+			burstEvery = spec.BurstEvery.Seconds()
+			burstLen = spec.BurstLen.Seconds()
+			burstOffset = 0
+		}
+		prof := FunctionProfile{Class: c, Mean: mean}
+		switch c {
+		case Fluctuating:
+			prof.Period = sim.Duration(period * float64(sim.Second))
+		case Spiky:
+			prof.BurstEvery = sim.Duration(burstEvery * float64(sim.Second))
+			prof.BurstLen = sim.Duration(burstLen * float64(sim.Second))
+			prof.BurstOffset = sim.Duration(burstOffset * float64(sim.Second))
+		}
+		tr.Profiles[fn] = prof
 
 		rate := func(t float64) float64 {
 			switch c {

@@ -430,3 +430,130 @@ func TestWithTokensClampsDegenerateMeans(t *testing.T) {
 		}
 	}
 }
+
+func TestMAFLikeProfilesRecorded(t *testing.T) {
+	tr, err := MAFLike(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Profiles) != len(tr.Classes) {
+		t.Fatalf("profiles = %d, classes = %d", len(tr.Profiles), len(tr.Classes))
+	}
+	for fn, p := range tr.Profiles {
+		if p.Class != tr.Classes[fn] {
+			t.Fatalf("fn %d: profile class %v != trace class %v", fn, p.Class, tr.Classes[fn])
+		}
+		if p.Mean <= 0 {
+			t.Fatalf("fn %d: mean %v", fn, p.Mean)
+		}
+		switch p.Class {
+		case Spiky:
+			if p.BurstEvery < 10*60*sim.Second || p.BurstEvery > 40*60*sim.Second {
+				t.Fatalf("fn %d: burst-every %s outside 10-40min", fn, p.BurstEvery)
+			}
+			if p.BurstLen < 20*sim.Second || p.BurstLen > 80*sim.Second {
+				t.Fatalf("fn %d: burst-len %s outside 20-80s", fn, p.BurstLen)
+			}
+			if p.Periodicity() != p.BurstEvery {
+				t.Fatalf("fn %d: periodicity %s != burst-every %s", fn, p.Periodicity(), p.BurstEvery)
+			}
+		case Fluctuating:
+			if p.Period < 15*60*sim.Second || p.Period > 60*60*sim.Second {
+				t.Fatalf("fn %d: period %s outside 15-60min", fn, p.Period)
+			}
+			if p.Periodicity() != p.Period {
+				t.Fatalf("fn %d: periodicity %s != period %s", fn, p.Periodicity(), p.Period)
+			}
+		default:
+			if p.Period != 0 || p.BurstEvery != 0 || p.Periodicity() != 0 {
+				t.Fatalf("fn %d (%v): unexpected periodicity %+v", fn, p.Class, p)
+			}
+		}
+	}
+}
+
+func TestMAFLikeBurstOverrideSharedSchedule(t *testing.T) {
+	spec := defaultSpec()
+	spec.Mix = map[FunctionClass]float64{Spiky: 1}
+	spec.BurstEvery = 5 * 60 * sim.Second
+	spec.BurstLen = 40 * sim.Second
+	tr, err := MAFLike(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fn, p := range tr.Profiles {
+		if p.Class != Spiky {
+			t.Fatalf("fn %d: class %v, want spiky under Mix{Spiky:1}", fn, p.Class)
+		}
+		if p.BurstEvery != spec.BurstEvery || p.BurstLen != spec.BurstLen || p.BurstOffset != 0 {
+			t.Fatalf("fn %d: override not applied: %+v", fn, p)
+		}
+	}
+	// Arrivals must actually concentrate in the shared burst windows:
+	// bursts occupy 40s/300s ≈ 13% of time but carry the large majority
+	// of traffic (burst rate is ~12x the base rate).
+	inBurst := 0
+	for _, r := range tr.Requests {
+		sec := r.At.Seconds()
+		if math.Mod(sec, spec.BurstEvery.Seconds()) < spec.BurstLen.Seconds() {
+			inBurst++
+		}
+	}
+	frac := float64(inBurst) / float64(len(tr.Requests))
+	if frac < 0.5 {
+		t.Fatalf("burst windows carry %.0f%% of traffic, want majority", frac*100)
+	}
+}
+
+func TestMAFLikeBurstOverrideKeepsDefaultPathIdentical(t *testing.T) {
+	// Setting the override fields must not perturb the rng stream of the
+	// default path: a zero-valued override equals the untouched spec.
+	base, err := MAFLike(defaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := defaultSpec()
+	spec.BurstEvery = 0
+	spec.BurstLen = 0
+	again, err := MAFLike(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Requests) != len(again.Requests) {
+		t.Fatalf("request counts diverged: %d vs %d", len(base.Requests), len(again.Requests))
+	}
+	for i := range base.Requests {
+		if base.Requests[i] != again.Requests[i] {
+			t.Fatalf("request %d diverged", i)
+		}
+	}
+	// And with the override set, non-spiky functions keep their exact
+	// arrivals: the draws still happen, only spiky schedules change.
+	spec.BurstEvery = 7 * 60 * sim.Second
+	spec.BurstLen = 30 * sim.Second
+	over, err := MAFLike(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFn := func(tr *Trace) map[int][]sim.Time {
+		m := map[int][]sim.Time{}
+		for _, r := range tr.Requests {
+			m[r.Instance] = append(m[r.Instance], r.At)
+		}
+		return m
+	}
+	b, o := byFn(base), byFn(over)
+	for fn, c := range base.Classes {
+		if c == Spiky {
+			continue
+		}
+		if len(b[fn]) != len(o[fn]) {
+			t.Fatalf("fn %d (%v): arrivals diverged under spiky-only override", fn, c)
+		}
+		for i := range b[fn] {
+			if b[fn][i] != o[fn][i] {
+				t.Fatalf("fn %d (%v): arrival %d moved", fn, c, i)
+			}
+		}
+	}
+}

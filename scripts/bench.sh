@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'^(BenchmarkMaxMinRates|BenchmarkSimnetFairShare|BenchmarkColdStartSimulation|BenchmarkWarmInferenceSimulation|BenchmarkServingThousandRequests|BenchmarkServingThousandRequestsMonitored|BenchmarkHistogramRecord|BenchmarkProfileBERTBase|BenchmarkPlanAlgorithm1|BenchmarkFunctionalForwardPass|BenchmarkClusterSixteenNodes|BenchmarkClusterSixteenNodesParallel|BenchmarkClusterHundredNodes|BenchmarkClusterHundredNodesParallel|BenchmarkZooPinnedCacheLookup)$'}
+pattern=${BENCH_PATTERN:-'^(BenchmarkMaxMinRates|BenchmarkSimnetFairShare|BenchmarkColdStartSimulation|BenchmarkWarmInferenceSimulation|BenchmarkServingThousandRequests|BenchmarkServingThousandRequestsMonitored|BenchmarkHistogramRecord|BenchmarkProfileBERTBase|BenchmarkPlanAlgorithm1|BenchmarkFunctionalForwardPass|BenchmarkClusterSixteenNodes|BenchmarkClusterSixteenNodesParallel|BenchmarkClusterHundredNodes|BenchmarkClusterHundredNodesParallel|BenchmarkZooPinnedCacheLookup|BenchmarkForecastObserve)$'}
 benchtime=${BENCH_TIME:-2x}
 out="BENCH_${BENCH_DATE:-$(date +%Y-%m-%d)}.json"
 

@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 threshold=${BENCH_THRESHOLD:-15}
 benchtime=${BENCH_TIME:-2x}
 count=${BENCH_COUNT:-3}
-pattern=${BENCH_PATTERN:-'^(BenchmarkMaxMinRates|BenchmarkSimnetFairShare|BenchmarkColdStartSimulation|BenchmarkWarmInferenceSimulation|BenchmarkServingThousandRequests|BenchmarkServingThousandRequestsMonitored|BenchmarkHistogramRecord|BenchmarkProfileBERTBase|BenchmarkPlanAlgorithm1|BenchmarkFunctionalForwardPass|BenchmarkClusterSixteenNodes|BenchmarkClusterSixteenNodesParallel|BenchmarkClusterHundredNodes|BenchmarkClusterHundredNodesParallel|BenchmarkZooPinnedCacheLookup)$'}
+pattern=${BENCH_PATTERN:-'^(BenchmarkMaxMinRates|BenchmarkSimnetFairShare|BenchmarkColdStartSimulation|BenchmarkWarmInferenceSimulation|BenchmarkServingThousandRequests|BenchmarkServingThousandRequestsMonitored|BenchmarkHistogramRecord|BenchmarkProfileBERTBase|BenchmarkPlanAlgorithm1|BenchmarkFunctionalForwardPass|BenchmarkClusterSixteenNodes|BenchmarkClusterSixteenNodesParallel|BenchmarkClusterHundredNodes|BenchmarkClusterHundredNodesParallel|BenchmarkZooPinnedCacheLookup|BenchmarkForecastObserve)$'}
 
 baseline=$(git ls-files 'BENCH_*.json' | sort | tail -1)
 if [ -z "$baseline" ]; then
